@@ -1,0 +1,44 @@
+// Ablation: what counts as a "busy" processor for the trigger condition.
+//
+// DESIGN.md decision 1: the paper counts a processor as busy when it can
+// split (stack >= 2); the ablation also triggers on the non-empty count.
+// Expected: small effect — few processors sit at exactly one node — with
+// the splittable definition triggering slightly earlier (it sees a smaller
+// active count) and therefore balancing a bit more eagerly.
+#include <iostream>
+
+#include "common.hpp"
+
+int main() {
+  using namespace simdts;
+  const std::uint32_t p = bench::table_machine_size();
+  const auto& wl = analysis::quick_mode() ? puzzle::test_workloads()[4]
+                                          : puzzle::paper_workloads()[1];
+  analysis::print_banner(
+      "Ablation — busy-processor definition (splittable vs non-empty)",
+      "Karypis & Kumar 1992, Section 2 (definition of busy)",
+      "differences stay small; splittable (the paper's definition) triggers "
+      "at least as eagerly");
+
+  analysis::Table table({"busy-policy", "scheme", "Nexpand", "Nlb", "E"});
+  for (const auto policy :
+       {lb::BusyPolicy::kSplittable, lb::BusyPolicy::kNonEmpty}) {
+    for (const auto& base :
+         {lb::gp_static(0.75), lb::gp_static(0.9), lb::gp_dk()}) {
+      lb::SchemeConfig cfg = base;
+      cfg.busy = policy;
+      const lb::IterationStats rs = bench::run_puzzle(wl, p, cfg);
+      table.row()
+          .add(lb::to_string(policy))
+          .add(base.name())
+          .add(rs.expand_cycles)
+          .add(rs.lb_phases)
+          .add(rs.efficiency(), 3);
+    }
+  }
+  std::cout << "instance " << wl.name << " (W = " << wl.serial_final
+            << "), P = " << p << "\n\n"
+            << table;
+  analysis::emit_csv("ablation_busy_policy", table);
+  return 0;
+}

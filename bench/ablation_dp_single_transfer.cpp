@@ -1,0 +1,56 @@
+// Ablation: D^P with and without multiple work transfers per phase.
+//
+// DESIGN.md decision 3 / Section 6.1: D^P's trigger ignores the total
+// machine size, so it only works when (nearly) all processors leave a
+// load-balancing phase with work — which requires multiple transfer rounds
+// per phase.  Expected: single-transfer D^P collapses (far fewer active
+// processors, worse efficiency), while D^K is insensitive to the choice.
+#include <iostream>
+
+#include "common.hpp"
+
+int main() {
+  using namespace simdts;
+  const std::uint32_t p = bench::table_machine_size();
+  const auto& wl = analysis::quick_mode() ? puzzle::test_workloads()[4]
+                                          : puzzle::paper_workloads()[1];
+  analysis::print_banner(
+      "Ablation — multiple work transfers per phase for the dynamic triggers",
+      "Karypis & Kumar 1992, Sections 2.3 and 6.1",
+      "with cheap load balancing the choice hardly matters: GP matching serves "
+      "every idle PE in one round whenever donors outnumber them.  With "
+      "expensive phases the trade-off inverts — every extra round pays a "
+      "full phase cost, so multiple transfers lower E even though they keep "
+      "more PEs fed (fewer phases)");
+
+  analysis::Table table({"lb-cost", "scheme", "transfers/phase", "Nexpand",
+                         "phases", "rounds", "E"});
+  // The multiple-transfer requirement only bites when idle processors
+  // outnumber donors within a phase — which happens once load balancing is
+  // expensive and D^P triggers late; sweep both cost regimes.
+  for (const double mult : {1.0, 16.0}) {
+    const simd::CostModel cost = simd::fast_cpu_cost_model(mult);
+    for (const bool multiple : {true, false}) {
+      for (const auto trigger :
+           {lb::TriggerKind::kDP, lb::TriggerKind::kDK}) {
+        lb::SchemeConfig cfg =
+            trigger == lb::TriggerKind::kDP ? lb::gp_dp() : lb::gp_dk();
+        cfg.multiple_transfers = multiple;
+        const lb::IterationStats rs = bench::run_puzzle(wl, p, cfg, cost);
+        table.row()
+            .add(analysis::format_double(mult, 0) + "x")
+            .add(lb::to_string(trigger))
+            .add(multiple ? "multiple" : "single")
+            .add(rs.expand_cycles)
+            .add(rs.lb_phases)
+            .add(rs.lb_rounds)
+            .add(rs.efficiency(), 3);
+      }
+    }
+  }
+  std::cout << "instance " << wl.name << " (W = " << wl.serial_final
+            << "), P = " << p << "\n\n"
+            << table;
+  analysis::emit_csv("ablation_dp_single_transfer", table);
+  return 0;
+}

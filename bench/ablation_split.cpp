@@ -1,0 +1,47 @@
+// Ablation: splitting strategy (the alpha-splitting assumption in practice).
+//
+// DESIGN.md decision 2: the paper donates the node at the bottom of the
+// stack.  This bench compares bottom-node, stratified-half, and the
+// deliberately poor top-node splitter.  Expected: bottom and half are close
+// (both are decent alpha-splitters for the 15-puzzle); top-node needs far
+// more load-balancing phases and loses efficiency, as predicted by the
+// V(P) * log_{1/(1-alpha)} W transfer bound with alpha -> 0.
+#include <iostream>
+
+#include "common.hpp"
+
+int main() {
+  using namespace simdts;
+  const std::uint32_t p = bench::table_machine_size();
+  const auto& wl = analysis::quick_mode() ? puzzle::test_workloads()[4]
+                                          : puzzle::paper_workloads()[1];
+  analysis::print_banner(
+      "Ablation — work-splitting strategy",
+      "Karypis & Kumar 1992, Section 3 (alpha-splitting) / Section 5",
+      "bottom-node ~ half >> top-node in efficiency; top-node needs many "
+      "more phases");
+
+  analysis::Table table({"splitter", "scheme", "Nexpand", "Nlb", "transfers",
+                         "E"});
+  for (const auto strat :
+       {search::SplitStrategy::kBottomNode, search::SplitStrategy::kHalf,
+        search::SplitStrategy::kTopNode}) {
+    for (const auto& base : {lb::gp_static(0.85), lb::gp_dk()}) {
+      lb::SchemeConfig cfg = base;
+      cfg.split = strat;
+      const lb::IterationStats rs = bench::run_puzzle(wl, p, cfg);
+      table.row()
+          .add(search::to_string(strat))
+          .add(base.name())
+          .add(rs.expand_cycles)
+          .add(rs.lb_phases)
+          .add(rs.transfers)
+          .add(rs.efficiency(), 3);
+    }
+  }
+  std::cout << "instance " << wl.name << " (W = " << wl.serial_final
+            << "), P = " << p << "\n\n"
+            << table;
+  analysis::emit_csv("ablation_split", table);
+  return 0;
+}

@@ -1,0 +1,80 @@
+// Shared plumbing for the experiment benches.
+//
+// Every table/figure binary follows the same pattern: print a banner
+// explaining what the paper reported and what "the shape holds" means, run
+// the experiment at the paper's machine size (P = 8192 by default), print a
+// paper-vs-measured table, and emit a CSV artifact.
+//
+// Environment knobs:
+//   SIMDTS_QUICK     reduced scale (smaller machine, fewer workloads)
+//   SIMDTS_P         override the machine size
+//   SIMDTS_OUT_DIR   CSV output directory (default bench_out/)
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "analysis/report.hpp"
+#include "analysis/table.hpp"
+#include "lb/engine.hpp"
+#include "puzzle/fifteen.hpp"
+#include "puzzle/workloads.hpp"
+#include "simd/cost_model.hpp"
+#include "simd/machine.hpp"
+
+namespace simdts::bench {
+
+/// The machine size for the headline tables: the paper's 8192, or 1024 in
+/// quick mode, or $SIMDTS_P.
+inline std::uint32_t table_machine_size() {
+  const std::uint64_t fallback = analysis::quick_mode() ? 1024 : 8192;
+  return static_cast<std::uint32_t>(analysis::env_u64("SIMDTS_P", fallback));
+}
+
+/// The puzzle workloads for the headline tables (quick mode keeps the two
+/// smallest so a full bench sweep stays snappy).
+inline std::vector<puzzle::PuzzleWorkload> table_workloads() {
+  const auto all = puzzle::paper_workloads();
+  if (analysis::quick_mode()) {
+    return {all.begin(), all.begin() + 2};
+  }
+  return {all.begin(), all.end()};
+}
+
+/// Runs one scheme on one 15-puzzle workload and returns the run stats for
+/// the *final-threshold iteration only* — the paper's setup ("find all the
+/// solutions of the puzzle up to a given tree depth"): a single bounded DFS
+/// at the optimal-solution threshold, which makes the searched tree size W
+/// identical for the serial and every parallel configuration.
+inline lb::IterationStats run_puzzle(const puzzle::PuzzleWorkload& wl,
+                                     std::uint32_t p,
+                                     const lb::SchemeConfig& cfg,
+                                     const simd::CostModel& cost
+                                     = simd::cm2_cost_model()) {
+  const puzzle::FifteenPuzzle problem(wl.board());
+  simd::Machine machine(p, cost);
+  lb::Engine<puzzle::FifteenPuzzle> engine(problem, machine, cfg);
+  return engine.run_iteration(wl.solution_length);
+}
+
+/// Full-IDA* variant (all iterations), for experiments that need it.
+inline lb::RunStats run_puzzle_ida(const puzzle::PuzzleWorkload& wl,
+                                   std::uint32_t p,
+                                   const lb::SchemeConfig& cfg,
+                                   const simd::CostModel& cost
+                                   = simd::cm2_cost_model()) {
+  const puzzle::FifteenPuzzle problem(wl.board());
+  simd::Machine machine(p, cost);
+  lb::Engine<puzzle::FifteenPuzzle> engine(problem, machine, cfg);
+  return engine.run();
+}
+
+/// The CM-2 t_lb / U_calc ratio used by the analytic-trigger columns.
+inline double cm2_ratio() { return 13.0 / 30.0; }
+
+/// Splitting-quality constant used for the analytic trigger (see
+/// analysis::TriggerModel::alpha).
+inline double model_alpha() { return 0.7; }
+
+}  // namespace simdts::bench

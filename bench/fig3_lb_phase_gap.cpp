@@ -1,0 +1,38 @@
+// Figure 3: difference in load-balancing phase counts, nGP minus GP, as a
+// function of the static threshold x, for the four Table 2 instances.
+//
+// Expected shape: the gap is ~0 at x = 0.5, grows with x, and grows faster
+// for larger W (the "saturation" effect pushes the blow-up to higher x for
+// larger problems).
+#include <iostream>
+
+#include "common.hpp"
+
+int main() {
+  using namespace simdts;
+  const std::uint32_t p = bench::table_machine_size();
+  analysis::print_banner(
+      "Figure 3 — N_lb(nGP) - N_lb(GP) vs static threshold x",
+      "Karypis & Kumar 1992, Figure 3",
+      "gap ~ 0 at x = 0.5, increasing in x, larger for larger W");
+
+  analysis::Table table(
+      {"W(meas)", "x", "Nlb-nGP", "Nlb-GP", "gap"});
+  const double xs[] = {0.50, 0.60, 0.70, 0.80, 0.90, 0.95};
+  for (const auto& wl : bench::table_workloads()) {
+    for (const double x : xs) {
+      const lb::IterationStats ngp = bench::run_puzzle(wl, p, lb::ngp_static(x));
+      const lb::IterationStats gp = bench::run_puzzle(wl, p, lb::gp_static(x));
+      table.row()
+          .add(wl.serial_final)
+          .add(x, 2)
+          .add(ngp.lb_phases)
+          .add(gp.lb_phases)
+          .add(static_cast<std::int64_t>(ngp.lb_phases) -
+               static_cast<std::int64_t>(gp.lb_phases));
+    }
+  }
+  std::cout << table;
+  analysis::emit_csv("fig3_lb_phase_gap", table);
+  return 0;
+}

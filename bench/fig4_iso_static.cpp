@@ -1,0 +1,26 @@
+// Figure 4: experimental isoefficiency curves for static triggering.
+//
+// The paper plots W needed for fixed efficiencies against P log P for
+// GP-S^0.90 (4a) and nGP-S^0.90 / ^0.80 / ^0.70 (4b-4d).  Expected shape:
+// GP-S^0.90's curves are near-straight lines (O(P log P) isoefficiency);
+// nGP's bend upward, the more so the higher x and the higher the target
+// efficiency; at low efficiencies all schemes look near-linear because the
+// phase count saturates at the cycle count.
+//
+// Substitution note: the grid runs on calibrated synthetic irregular trees
+// (see DESIGN.md) so that W can be swept over nearly three decades.
+#include "iso_common.hpp"
+
+int main() {
+  using namespace simdts;
+  analysis::print_banner(
+      "Figure 4 — isoefficiency curves, static triggering",
+      "Karypis & Kumar 1992, Figures 4a-4d",
+      "GP-S^0.9 near-linear in P log P; nGP bends upward as x and the "
+      "target efficiency grow");
+  bench::run_iso_experiment("fig4a_gp_s90", lb::gp_static(0.90));
+  bench::run_iso_experiment("fig4b_ngp_s90", lb::ngp_static(0.90));
+  bench::run_iso_experiment("fig4c_ngp_s80", lb::ngp_static(0.80));
+  bench::run_iso_experiment("fig4d_ngp_s70", lb::ngp_static(0.70));
+  return 0;
+}

@@ -1,0 +1,21 @@
+// Figure 7: experimental isoefficiency curves for dynamic triggering.
+//
+// The paper plots isoefficiency curves for GP-D^K (7a), GP-D^P (7b),
+// nGP-D^K (7c) and nGP-D^P (7d).  Expected shape: both GP combinations are
+// near-linear in P log P; nGP-D^K stays close to linear, while nGP-D^P is
+// visibly worse because D^P triggers phases more often and nGP's donation
+// burden concentrates.
+#include "iso_common.hpp"
+
+int main() {
+  using namespace simdts;
+  analysis::print_banner(
+      "Figure 7 — isoefficiency curves, dynamic triggering",
+      "Karypis & Kumar 1992, Figures 7a-7d",
+      "GP-D^K ~ GP-D^P ~ O(P log P); nGP-D^K near-linear; nGP-D^P worse");
+  bench::run_iso_experiment("fig7a_gp_dk", lb::gp_dk());
+  bench::run_iso_experiment("fig7b_gp_dp", lb::gp_dp());
+  bench::run_iso_experiment("fig7c_ngp_dk", lb::ngp_dk());
+  bench::run_iso_experiment("fig7d_ngp_dp", lb::ngp_dp());
+  return 0;
+}

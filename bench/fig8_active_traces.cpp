@@ -1,0 +1,130 @@
+// Figure 8: number of active processors per node-expansion cycle for GP-D^P
+// and GP-D^K at the actual and at 16x load-balancing cost.
+//
+// Expected shape: at the actual cost the two traces look alike (8a vs 8b);
+// at 16x, D^P lets the active count sag to much lower levels before
+// triggering than D^K does (8c vs 8d) — the too-late-triggering pathology of
+// Section 6.1.
+//
+// The trace is printed as a compact ASCII strip chart (one row per bucket of
+// cycles, value = mean active fraction) and emitted in full as CSV.
+#include <algorithm>
+#include <iostream>
+
+#include "common.hpp"
+
+namespace {
+
+using simdts::lb::IterationStats;
+
+void print_strip(const IterationStats& it, std::uint32_t p) {
+  constexpr int kBuckets = 24;
+  constexpr int kWidth = 50;
+  const std::size_t n = it.trace.size();
+  if (n == 0) return;
+  const std::size_t per = std::max<std::size_t>(1, n / kBuckets);
+  for (std::size_t b = 0; b * per < n; ++b) {
+    const std::size_t lo = b * per;
+    const std::size_t hi = std::min(n, lo + per);
+    double mean = 0.0;
+    for (std::size_t i = lo; i < hi; ++i) mean += it.trace[i].working;
+    mean /= static_cast<double>(hi - lo);
+    const int bar = static_cast<int>(mean / p * kWidth + 0.5);
+    std::cout << "  cycle " << lo << "\t|" << std::string(bar, '#')
+              << std::string(kWidth - bar, ' ') << "| "
+              << static_cast<int>(mean) << "\n";
+  }
+}
+
+/// Mean active fraction over the whole iteration (== W / (P * N_expand)).
+double mean_active_fraction(const IterationStats& it, std::uint32_t p) {
+  if (it.trace.empty()) return 0.0;
+  double sum = 0.0;
+  for (const auto& t : it.trace) sum += t.working;
+  return sum / static_cast<double>(p) /
+         static_cast<double>(it.trace.size());
+}
+
+/// Deepest valley over the middle of the run — the initial distribution
+/// ramp and the final drain (where every scheme goes to zero) are skipped,
+/// so this measures how far D^P lets the machine sag *between* phases.
+double valley_active_fraction(const IterationStats& it, std::uint32_t p) {
+  const std::size_t n = it.trace.size();
+  if (n < 10) return 0.0;
+  const std::size_t start = n / 10;
+  const std::size_t end = n - n / 4;
+  double min_frac = 1.0;
+  for (std::size_t i = start; i < end; ++i) {
+    min_frac = std::min(
+        min_frac, static_cast<double>(it.trace[i].working) / p);
+  }
+  return min_frac;
+}
+
+}  // namespace
+
+int main() {
+  using namespace simdts;
+  const std::uint32_t p = bench::table_machine_size();
+  const auto& wl = puzzle::table5_workload();
+  analysis::print_banner(
+      "Figure 8 — active processors per expansion cycle, GP-D^P vs GP-D^K",
+      "Karypis & Kumar 1992, Figures 8a-8d (W = 2067137)",
+      "similar traces at the actual lb cost; at 16x cost the D^P trace sags "
+      "far lower between phases than D^K's");
+
+  analysis::Table csv({"panel", "cycle", "working", "splittable"});
+  analysis::Table summary({"panel", "scheme", "lb-cost", "mean-active",
+                           "valley-active", "E"});
+  const struct {
+    const char* panel;
+    lb::SchemeConfig cfg;
+    double mult;
+  } panels[] = {
+      {"8a", lb::gp_dp(), 1.0},
+      {"8b", lb::gp_dk(), 1.0},
+      {"8c", lb::gp_dp(), 16.0},
+      {"8d", lb::gp_dk(), 16.0},
+  };
+
+  double sag[4] = {};
+  int idx = 0;
+  for (const auto& panel : panels) {
+    lb::SchemeConfig cfg = panel.cfg;
+    cfg.record_trace = true;
+    const puzzle::FifteenPuzzle problem(wl.board());
+    simd::Machine machine(p, simd::fast_cpu_cost_model(panel.mult));
+    lb::Engine<puzzle::FifteenPuzzle> engine(problem, machine, cfg);
+    const IterationStats final = engine.run_iteration(wl.solution_length);
+
+    std::cout << "panel " << panel.panel << ": " << cfg.name() << " at "
+              << panel.mult << "x lb cost — final iteration, "
+              << final.expand_cycles << " cycles\n";
+    print_strip(final, p);
+    std::cout << '\n';
+
+    for (std::size_t i = 0; i < final.trace.size(); ++i) {
+      csv.row()
+          .add(panel.panel)
+          .add(static_cast<std::uint64_t>(i))
+          .add(static_cast<std::uint64_t>(final.trace[i].working))
+          .add(static_cast<std::uint64_t>(final.trace[i].splittable));
+    }
+    sag[idx] = mean_active_fraction(final, p);
+    summary.row()
+        .add(panel.panel)
+        .add(cfg.name())
+        .add(panel.mult, 0)
+        .add(sag[idx], 2)
+        .add(valley_active_fraction(final, p), 2)
+        .add(final.efficiency(), 2);
+    ++idx;
+  }
+  std::cout << summary;
+  std::cout << "\nShape check: D^P mean active fraction at 16x ("
+            << analysis::format_double(sag[2], 2) << ") should be below D^K ("
+            << analysis::format_double(sag[3], 2) << ")\n";
+  analysis::emit_csv("fig8_traces", csv);
+  analysis::emit_csv("fig8_summary", summary);
+  return 0;
+}

@@ -1,0 +1,89 @@
+// Shared harness for the isoefficiency figures (4 and 7).
+#pragma once
+
+#include <cstdint>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "analysis/isoefficiency.hpp"
+#include "analysis/report.hpp"
+#include "analysis/table.hpp"
+#include "synthetic/workloads.hpp"
+
+namespace simdts::bench {
+
+/// Machine-size grid for the isoefficiency figures.
+inline std::vector<std::uint32_t> iso_machine_sizes() {
+  if (analysis::quick_mode()) return {256, 512, 1024};
+  return {512, 1024, 2048, 4096, 8192};
+}
+
+/// Workload ladder (quick mode drops the largest trees).
+inline std::vector<synthetic::SyntheticWorkload> iso_ladder() {
+  const auto all = synthetic::iso_workloads();
+  std::vector<synthetic::SyntheticWorkload> out(all.begin(), all.end());
+  if (analysis::quick_mode() && out.size() > 5) {
+    out.resize(5);
+  }
+  return out;
+}
+
+/// Target efficiencies for the extracted curves.
+inline std::vector<double> iso_targets() { return {0.50, 0.65, 0.80}; }
+
+/// Runs the grid for one scheme, prints the raw grid, the extracted
+/// curves in the paper's (P log P, W) coordinates, and a straight-line
+/// verdict; emits CSVs under the given name.
+inline void run_iso_experiment(const std::string& name,
+                               const lb::SchemeConfig& cfg) {
+  std::cout << "--- " << name << " (" << cfg.name() << ") ---\n";
+  const auto sizes = iso_machine_sizes();
+  const auto ladder = iso_ladder();
+  const analysis::GridResult grid =
+      analysis::run_grid(cfg, ladder, sizes, simd::cm2_cost_model());
+
+  analysis::Table raw({"P", "W", "E", "Nexpand", "Nlb"});
+  for (const auto& pt : grid.points) {
+    raw.row()
+        .add(static_cast<std::uint64_t>(pt.p))
+        .add(pt.w)
+        .add(pt.efficiency, 3)
+        .add(pt.expand_cycles)
+        .add(pt.lb_phases);
+  }
+  std::cout << raw << '\n';
+  analysis::emit_csv(name + "_grid", raw);
+
+  const auto targets = iso_targets();
+  const auto curves = analysis::extract_curves(grid, targets);
+  analysis::Table curve_table(
+      {"E", "P", "PlogP", "W-needed", "W/(PlogP)", "note"});
+  for (const auto& curve : curves) {
+    for (const auto& pt : curve.points) {
+      curve_table.row()
+          .add(curve.efficiency, 2)
+          .add(static_cast<std::uint64_t>(pt.p))
+          .add(pt.p_log_p, 0)
+          .add(pt.w_needed, 0)
+          .add(pt.w_needed / pt.p_log_p, 1)
+          .add(pt.extrapolated ? "extrapolated" : "");
+    }
+  }
+  std::cout << curve_table;
+  for (const auto& curve : curves) {
+    const analysis::LineFit fit = analysis::fit_p_log_p(curve);
+    std::cout << "E=" << analysis::format_double(curve.efficiency, 2)
+              << ": least-squares W ~ " << analysis::format_double(fit.slope, 1)
+              << " * P log P, max relative deviation "
+              << analysis::format_double(100.0 * fit.max_rel_deviation, 0)
+              << "% ("
+              << (fit.max_rel_deviation < 0.5 ? "near-linear in P log P"
+                                              : "super-linear growth")
+              << ")\n";
+  }
+  std::cout << '\n';
+  analysis::emit_csv(name + "_curves", curve_table);
+}
+
+}  // namespace simdts::bench

@@ -1,0 +1,124 @@
+// Micro-benchmarks of the substrate primitives (google-benchmark).
+//
+// These are not paper experiments; they document the cost of the pieces the
+// simulation is built from — node expansion, scans, matching — so that the
+// simulated cost model's ratio (t_lb / t_expand) can be put in context with
+// the emulator's actual host-side costs.
+#include <benchmark/benchmark.h>
+
+#include <random>
+#include <vector>
+
+#include "lb/matching.hpp"
+#include "puzzle/fifteen.hpp"
+#include "puzzle/heuristic.hpp"
+#include "simd/rendezvous.hpp"
+#include "simd/scan.hpp"
+#include "synthetic/tree.hpp"
+
+namespace {
+
+using namespace simdts;
+
+void BM_PuzzleExpand(benchmark::State& state) {
+  const puzzle::FifteenPuzzle problem(puzzle::random_walk(7, 80));
+  std::vector<puzzle::FifteenPuzzle::Node> frontier{problem.root()};
+  std::vector<puzzle::FifteenPuzzle::Node> children;
+  search::NextBound nb;
+  std::size_t i = 0;
+  std::uint64_t expanded = 0;
+  for (auto _ : state) {
+    children.clear();
+    problem.expand(frontier[i], search::kUnbounded, children, nb);
+    benchmark::DoNotOptimize(children.data());
+    for (const auto& c : children) {
+      if (frontier.size() < 4096) frontier.push_back(c);
+    }
+    i = (i + 1) % frontier.size();
+    ++expanded;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(expanded));
+}
+BENCHMARK(BM_PuzzleExpand);
+
+void BM_PuzzleManhattanFull(benchmark::State& state) {
+  const puzzle::Board b = puzzle::random_walk(11, 60);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(puzzle::manhattan(b));
+  }
+}
+BENCHMARK(BM_PuzzleManhattanFull);
+
+void BM_PuzzleLinearConflict(benchmark::State& state) {
+  const puzzle::Board b = puzzle::random_walk(11, 60);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(puzzle::linear_conflict(b));
+  }
+}
+BENCHMARK(BM_PuzzleLinearConflict);
+
+void BM_SyntheticExpand(benchmark::State& state) {
+  const synthetic::Tree tree(synthetic::Params{5, 4, 0.38, 30});
+  std::vector<synthetic::Tree::Node> frontier{tree.root()};
+  std::vector<synthetic::Tree::Node> children;
+  search::NextBound nb;
+  std::size_t i = 0;
+  for (auto _ : state) {
+    children.clear();
+    tree.expand(frontier[i], search::kUnbounded, children, nb);
+    benchmark::DoNotOptimize(children.data());
+    for (const auto& c : children) {
+      if (frontier.size() < 4096) frontier.push_back(c);
+    }
+    i = (i + 1) % frontier.size();
+  }
+}
+BENCHMARK(BM_SyntheticExpand);
+
+void BM_InclusiveScan(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::vector<std::uint32_t> in(n, 1);
+  std::vector<std::uint32_t> out(n);
+  for (auto _ : state) {
+    simd::inclusive_scan<std::uint32_t>(in, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_InclusiveScan)->Arg(1 << 10)->Arg(1 << 13)->Arg(1 << 16);
+
+void BM_Rendezvous(benchmark::State& state) {
+  const auto p = static_cast<std::size_t>(state.range(0));
+  std::mt19937 rng(99);
+  std::vector<std::uint8_t> busy(p);
+  std::vector<std::uint8_t> idle(p);
+  for (std::size_t i = 0; i < p; ++i) {
+    busy[i] = (rng() % 10) < 7;
+    idle[i] = !busy[i];
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(simd::rendezvous(busy, idle, 17));
+  }
+}
+BENCHMARK(BM_Rendezvous)->Arg(1 << 10)->Arg(1 << 13);
+
+void BM_GpMatchPhase(benchmark::State& state) {
+  const auto p = static_cast<std::size_t>(state.range(0));
+  std::mt19937 rng(42);
+  std::vector<std::uint8_t> busy(p);
+  std::vector<std::uint8_t> idle(p);
+  for (std::size_t i = 0; i < p; ++i) {
+    busy[i] = (rng() % 10) < 8;
+    idle[i] = !busy[i];
+  }
+  lb::Matcher matcher(lb::MatchScheme::kGP);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(matcher.match(busy, idle));
+  }
+}
+BENCHMARK(BM_GpMatchPhase)->Arg(1 << 13);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,62 @@
+// Section 8: comparison against the related-work schemes.
+//
+// FESS and FEGS (Mahanti & Daniels) and the two Frye & Myczkowski schemes,
+// run side by side with the paper's GP machinery on the same instance.
+// Expected shape: FESS pays a phase per (almost every) cycle; FEGS improves
+// on it but still triggers eagerly; give-one's poor splitting and the
+// nearest-neighbour scheme's one-hop work diffusion both lose to GP-S^xo and
+// GP-D^K.
+#include <iostream>
+
+#include "analysis/model.hpp"
+#include "baselines/baselines.hpp"
+#include "common.hpp"
+
+int main() {
+  using namespace simdts;
+  const std::uint32_t p = bench::table_machine_size();
+  // The mid-size instance keeps the FESS (one transfer per phase!) run
+  // tolerable; the ranking is scale-independent.
+  const auto& wl = analysis::quick_mode() ? puzzle::test_workloads()[4]
+                                          : puzzle::paper_workloads()[0];
+  analysis::print_banner(
+      "Section 8 — related-work load-balancing schemes vs this paper's",
+      "Karypis & Kumar 1992, Section 8",
+      "GP-S^xo and GP-D^K on top; FEGS < that but >= FESS; give-one and "
+      "nearest-neighbour trail behind");
+
+  const analysis::TriggerModel model{static_cast<double>(wl.serial_final), p,
+                                     bench::cm2_ratio(),
+                                     bench::model_alpha()};
+  const double xo = analysis::optimal_static_trigger(model);
+
+  const struct {
+    const char* name;
+    lb::SchemeConfig cfg;
+  } schemes[] = {
+      {"GP-S^xo", lb::gp_static(std::min(xo, 0.97))},
+      {"GP-DK", lb::gp_dk()},
+      {"FEGS", baselines::fegs()},
+      {"FESS", baselines::fess()},
+      {"Frye-give-one", baselines::frye_give_one(0.75)},
+      {"Frye-neighbor", baselines::frye_neighbor()},
+  };
+
+  analysis::Table table({"scheme", "Nexpand", "phases", "rounds", "transfers",
+                         "E"});
+  for (const auto& s : schemes) {
+    const lb::IterationStats rs = bench::run_puzzle(wl, p, s.cfg);
+    table.row()
+        .add(s.name)
+        .add(rs.expand_cycles)
+        .add(rs.lb_phases)
+        .add(rs.lb_rounds)
+        .add(rs.transfers)
+        .add(rs.efficiency(), 3);
+  }
+  std::cout << "instance " << wl.name << " (W = " << wl.serial_final
+            << "), P = " << p << "\n\n"
+            << table;
+  analysis::emit_csv("sec8_baselines", table);
+  return 0;
+}

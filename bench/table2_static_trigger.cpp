@@ -1,0 +1,114 @@
+// Table 2: static triggering on the CM-2.
+//
+// For each problem instance (rows, identified by serial tree size W) and
+// each static threshold x in {0.50, 0.60, 0.70, 0.80, 0.90} (columns), the
+// paper reports N_expand (node-expansion cycles), N_lb (load-balancing
+// phases) and E (efficiency) for the nGP and GP matching schemes on 8192
+// CM-2 processors, plus the analytic optimal trigger x_o from eq. 18.
+#include <iostream>
+#include <map>
+
+#include "analysis/model.hpp"
+#include "common.hpp"
+
+namespace {
+
+// The paper's Table 2, indexed by [paper W][x percent] -> {nGP, GP} rows of
+// (N_expand, N_lb, E).  Used only for the side-by-side printout.
+struct PaperCell {
+  int nexpand_ngp, nlb_ngp;
+  double e_ngp;
+  int nexpand_gp, nlb_gp;
+  double e_gp;
+};
+const std::map<std::uint64_t, std::map<int, PaperCell>> kPaperTable2 = {
+    {941852,
+     {{50, {198, 54, 0.52, 198, 54, 0.52}},
+      {60, {181, 77, 0.53, 174, 59, 0.58}},
+      {70, {164, 119, 0.53, 161, 69, 0.60}},
+      {80, {151, 138, 0.55, 150, 88, 0.61}},
+      {90, {153, 151, 0.52, 142, 122, 0.59}}}},
+    {3055171,
+     {{50, {606, 59, 0.59, 606, 59, 0.59}},
+      {60, {542, 111, 0.63, 535, 62, 0.66}},
+      {70, {459, 234, 0.67, 486, 76, 0.72}},
+      {80, {420, 353, 0.65, 445, 98, 0.77}},
+      {90, {409, 408, 0.64, 417, 152, 0.78}}}},
+    {6073623,
+     {{50, {1155, 56, 0.63, 1155, 56, 0.63}},
+      {60, {1022, 133, 0.69, 1029, 63, 0.70}},
+      {70, {894, 336, 0.71, 936, 78, 0.76}},
+      {80, {809, 577, 0.70, 863, 104, 0.82}},
+      {90, {774, 736, 0.67, 805, 170, 0.85}}}},
+    {16110463,
+     {{50, {2969, 52, 0.66, 2969, 52, 0.66}},
+      {60, {2657, 177, 0.72, 2652, 61, 0.73}},
+      {70, {2339, 655, 0.75, 2422, 75, 0.80}},
+      {80, {2109, 1303, 0.74, 2240, 101, 0.86}},
+      {90, {2015, 1756, 0.71, 2099, 172, 0.91}}}},
+};
+
+}  // namespace
+
+int main() {
+  using namespace simdts;
+  const std::uint32_t p = bench::table_machine_size();
+  analysis::print_banner(
+      "Table 2 — static triggering (S^x), nGP vs GP",
+      "Karypis & Kumar 1992, Table 2 (8192 CM-2 processors)",
+      "E grows with W at every x; N_lb(GP) stays low while N_lb(nGP) climbs "
+      "steeply with x; GP >= nGP in efficiency; analytic x_o grows with W");
+  std::cout << "machine size P = " << p << " (paper: 8192)\n\n";
+
+  analysis::Table table(
+      {"W(meas)", "W(paper)", "x", "Nexp-nGP", "Nlb-nGP", "E-nGP",
+       "Nexp-GP", "Nlb-GP", "E-GP", "paper:E-nGP", "paper:E-GP"});
+
+  for (const auto& wl : bench::table_workloads()) {
+    for (const int xpct : {50, 60, 70, 80, 90}) {
+      const double x = xpct / 100.0;
+      const lb::IterationStats ngp = bench::run_puzzle(wl, p, lb::ngp_static(x));
+      const lb::IterationStats gp = bench::run_puzzle(wl, p, lb::gp_static(x));
+      const auto* paper_row =
+          kPaperTable2.count(wl.paper_w) != 0 &&
+                  kPaperTable2.at(wl.paper_w).count(xpct) != 0
+              ? &kPaperTable2.at(wl.paper_w).at(xpct)
+              : nullptr;
+      table.row()
+          .add(ngp.nodes_expanded)
+          .add(wl.paper_w)
+          .add(x, 2)
+          .add(ngp.expand_cycles)
+          .add(ngp.lb_phases)
+          .add(ngp.efficiency(), 2)
+          .add(gp.expand_cycles)
+          .add(gp.lb_phases)
+          .add(gp.efficiency(), 2)
+          .add(paper_row ? analysis::format_double(paper_row->e_ngp, 2) : "-")
+          .add(paper_row ? analysis::format_double(paper_row->e_gp, 2) : "-");
+    }
+  }
+  std::cout << table << '\n';
+
+  // The analytic-trigger column.
+  analysis::Table xo_table({"W(meas)", "analytic x_o", "paper x_o"});
+  const std::map<std::uint64_t, double> paper_xo = {{941852, 0.82},
+                                                    {3055171, 0.89},
+                                                    {6073623, 0.92},
+                                                    {16110463, 0.95}};
+  for (const auto& wl : bench::table_workloads()) {
+    const analysis::TriggerModel model{
+        static_cast<double>(wl.serial_final), p, bench::cm2_ratio(),
+        bench::model_alpha()};
+    xo_table.row()
+        .add(wl.serial_final)
+        .add(analysis::optimal_static_trigger(model), 2)
+        .add(paper_xo.count(wl.paper_w) != 0
+                 ? analysis::format_double(paper_xo.at(wl.paper_w), 2)
+                 : "-");
+  }
+  std::cout << xo_table;
+  analysis::emit_csv("table2_static_trigger", table);
+  analysis::emit_csv("table2_analytic_trigger", xo_table);
+  return 0;
+}

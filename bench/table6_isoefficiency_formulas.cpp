@@ -1,0 +1,62 @@
+// Table 6: analytic isoefficiency functions per architecture, with an
+// empirical spot-check of the growth ordering.
+//
+// The paper's summary table gives, for hypercube and mesh interconnects
+// (plus the CM-2's constant-cost network used in the experiments), the
+// isoefficiency functions of nGP-S^x and GP-S^x.  The formulas are printed
+// as-is; the spot-check evaluates the growth terms over a range of P to
+// confirm the ordering the table implies (GP strictly more scalable than
+// nGP at every architecture, CM-2 cheapest, mesh most expensive
+// asymptotically).
+#include <iostream>
+
+#include "analysis/model.hpp"
+#include "analysis/report.hpp"
+#include "analysis/table.hpp"
+
+int main() {
+  using namespace simdts;
+  analysis::print_banner(
+      "Table 6 — isoefficiency functions of the matching/static-trigger "
+      "combinations",
+      "Karypis & Kumar 1992, Table 6 (plus the CM-2 rows of Sections 4.1/4.2)",
+      "W(GP) = O(P log P) on the CM-2 and O(P log^3 P) / O(P^1.5 log P) on "
+      "hypercube / mesh; nGP picks up a log^{x/(1-x)} P factor everywhere");
+
+  analysis::Table table({"architecture", "scheme", "isoefficiency",
+                         "grow(P=2^13)", "grow(P=2^17)", "grow(P=2^21)",
+                         "x(2^21)/x(2^13)"});
+  const double x = 0.9;
+  for (const auto& row : analysis::table6_formulas()) {
+    const double g13 = row.grow(8192.0, x);
+    const double g17 = row.grow(131072.0, x);
+    const double g21 = row.grow(2097152.0, x);
+    table.row()
+        .add(row.architecture)
+        .add(row.scheme)
+        .add(row.formula)
+        .add(g13, 0)
+        .add(g17, 0)
+        .add(g21, 0)
+        .add(g21 / g13, 1);
+  }
+  std::cout << table << '\n';
+
+  std::cout << "Growth-ordering checks at x = 0.9 (expected: all true)\n";
+  const auto rows = analysis::table6_formulas();
+  const double p = 1 << 21;
+  auto check = [](const char* what, bool ok) {
+    std::cout << "  " << (ok ? "[ok] " : "[FAIL] ") << what << '\n';
+    return ok;
+  };
+  bool all = true;
+  all &= check("GP < nGP on CM-2", rows[0].grow(p, x) < rows[1].grow(p, x));
+  all &= check("GP < nGP on hypercube",
+               rows[2].grow(p, x) < rows[3].grow(p, x));
+  all &= check("GP < nGP on mesh", rows[4].grow(p, x) < rows[5].grow(p, x));
+  all &= check("CM-2 < hypercube < mesh for GP",
+               rows[0].grow(p, x) < rows[2].grow(p, x) &&
+                   rows[2].grow(p, x) < rows[4].grow(p, x));
+  analysis::emit_csv("table6_isoefficiency_formulas", table);
+  return all ? 0 : 1;
+}

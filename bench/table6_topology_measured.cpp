@@ -1,0 +1,73 @@
+// Table 6, measured: isoefficiency under hypercube and mesh load-balancing
+// costs, not just the analytic formulas.
+//
+// The cost model scales t_lb with the machine size (log^2 P on a hypercube,
+// sqrt(P) on a mesh, constant on the CM-2, normalized to the CM-2 value at
+// P = 8192).  Expected shape: at every (W, P) the achieved efficiency orders
+// CM-2 >= hypercube >= mesh once P exceeds the normalization point, and the
+// W needed for fixed E grows fastest on the mesh — the Table 6 ordering,
+// measured.
+#include <iostream>
+
+#include "iso_common.hpp"
+
+int main() {
+  using namespace simdts;
+  analysis::print_banner(
+      "Table 6 (measured) — GP-S^0.85 isoefficiency across interconnects",
+      "Karypis & Kumar 1992, Table 6",
+      "W needed for fixed E grows near P log P on the CM-2, faster on the "
+      "hypercube (t_lb ~ log^2 P), fastest on the mesh (t_lb ~ sqrt P)");
+
+  const auto sizes = bench::iso_machine_sizes();
+  const auto ladder = bench::iso_ladder();
+  const double targets[] = {0.50, 0.65};
+
+  const struct {
+    const char* name;
+    simd::CostModel cost;
+  } machines[] = {
+      {"CM-2", simd::cm2_cost_model()},
+      {"hypercube", simd::hypercube_cost_model()},
+      {"mesh", simd::mesh_cost_model()},
+  };
+
+  analysis::Table table({"architecture", "E", "P", "W-needed", "W/(PlogP)",
+                         "note"});
+  analysis::Table slopes({"architecture", "E", "slope-ratio P=8192/P=512"});
+  for (const auto& m : machines) {
+    const analysis::GridResult grid =
+        analysis::run_grid(lb::gp_static(0.85), ladder, sizes, m.cost);
+    const auto curves = analysis::extract_curves(grid, targets);
+    for (const auto& curve : curves) {
+      double first_ratio = 0.0;
+      double last_ratio = 0.0;
+      for (const auto& pt : curve.points) {
+        const double ratio = pt.w_needed / pt.p_log_p;
+        if (first_ratio == 0.0) first_ratio = ratio;
+        last_ratio = ratio;
+        table.row()
+            .add(m.name)
+            .add(curve.efficiency, 2)
+            .add(static_cast<std::uint64_t>(pt.p))
+            .add(pt.w_needed, 0)
+            .add(ratio, 1)
+            .add(pt.extrapolated ? "extrapolated" : "");
+      }
+      if (first_ratio > 0.0) {
+        slopes.row()
+            .add(m.name)
+            .add(curve.efficiency, 2)
+            .add(last_ratio / first_ratio, 2);
+      }
+    }
+  }
+  std::cout << table << '\n'
+            << "Growth of the W/(P log P) ratio across the machine-size "
+               "range\n(1.0 = exactly P log P; larger = extra network "
+               "factors; mesh > hypercube > CM-2 expected):\n\n"
+            << slopes;
+  analysis::emit_csv("table6_topology_measured", table);
+  analysis::emit_csv("table6_topology_slopes", slopes);
+  return 0;
+}

@@ -1,0 +1,123 @@
+#include "analysis/isoefficiency.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "lb/engine.hpp"
+#include "simd/machine.hpp"
+#include "synthetic/tree.hpp"
+
+namespace simdts::analysis {
+
+GridResult run_grid(const lb::SchemeConfig& config,
+                    std::span<const synthetic::SyntheticWorkload> workloads,
+                    std::span<const std::uint32_t> machine_sizes,
+                    const simd::CostModel& cost) {
+  GridResult result;
+  result.config = config;
+  for (const std::uint32_t p : machine_sizes) {
+    simd::Machine machine(p, cost);
+    for (const auto& wl : workloads) {
+      const synthetic::Tree tree(wl.params);
+      lb::Engine<synthetic::Tree> engine(tree, machine, config);
+      const lb::IterationStats stats =
+          engine.run_iteration(search::kUnbounded);
+      GridPoint pt;
+      pt.p = p;
+      pt.w = stats.nodes_expanded;
+      pt.efficiency = stats.efficiency();
+      pt.expand_cycles = stats.expand_cycles;
+      pt.lb_phases = stats.lb_phases;
+      pt.lb_rounds = stats.lb_rounds;
+      result.points.push_back(pt);
+    }
+  }
+  return result;
+}
+
+std::vector<IsoCurve> extract_curves(const GridResult& grid,
+                                     std::span<const double> targets) {
+  // Group by machine size, keeping workload order (ascending W).
+  std::vector<std::uint32_t> sizes;
+  for (const auto& pt : grid.points) {
+    if (sizes.empty() || sizes.back() != pt.p) sizes.push_back(pt.p);
+  }
+
+  std::vector<IsoCurve> curves;
+  for (const double target : targets) {
+    IsoCurve curve;
+    curve.efficiency = target;
+    for (const std::uint32_t p : sizes) {
+      std::vector<const GridPoint*> pts;
+      for (const auto& pt : grid.points) {
+        if (pt.p == p) pts.push_back(&pt);
+      }
+      std::sort(pts.begin(), pts.end(),
+                [](const GridPoint* a, const GridPoint* b) {
+                  return a->w < b->w;
+                });
+      if (pts.size() < 2) continue;
+
+      IsoCurvePoint cp;
+      cp.p = p;
+      cp.p_log_p = static_cast<double>(p) * std::log2(static_cast<double>(p));
+
+      // Find the first bracketing segment; efficiency is noisy, so scan for
+      // a crossing rather than assuming strict monotonicity.
+      bool found = false;
+      for (std::size_t i = 0; i + 1 < pts.size(); ++i) {
+        const double e0 = pts[i]->efficiency;
+        const double e1 = pts[i + 1]->efficiency;
+        if ((e0 <= target && target <= e1) ||
+            (e1 <= target && target <= e0)) {
+          const double lw0 = std::log(static_cast<double>(pts[i]->w));
+          const double lw1 = std::log(static_cast<double>(pts[i + 1]->w));
+          const double frac = e1 == e0 ? 0.0 : (target - e0) / (e1 - e0);
+          cp.w_needed = std::exp(lw0 + frac * (lw1 - lw0));
+          found = true;
+          break;
+        }
+      }
+      if (!found) {
+        // Extrapolate from the last segment (the paper does the same for
+        // its "estimated W" annotations on out-of-range points).
+        const auto* a = pts[pts.size() - 2];
+        const auto* b = pts[pts.size() - 1];
+        const double e0 = a->efficiency;
+        const double e1 = b->efficiency;
+        if (e1 == e0) continue;
+        const double lw0 = std::log(static_cast<double>(a->w));
+        const double lw1 = std::log(static_cast<double>(b->w));
+        const double frac = (target - e0) / (e1 - e0);
+        cp.w_needed = std::exp(lw0 + frac * (lw1 - lw0));
+        cp.extrapolated = true;
+      }
+      curve.points.push_back(cp);
+    }
+    curves.push_back(std::move(curve));
+  }
+  return curves;
+}
+
+LineFit fit_p_log_p(const IsoCurve& curve) {
+  LineFit fit;
+  double num = 0.0;
+  double den = 0.0;
+  for (const auto& pt : curve.points) {
+    num += pt.w_needed * pt.p_log_p;
+    den += pt.p_log_p * pt.p_log_p;
+  }
+  if (den == 0.0) return fit;
+  fit.slope = num / den;
+  for (const auto& pt : curve.points) {
+    const double predicted = fit.slope * pt.p_log_p;
+    if (predicted > 0.0) {
+      fit.max_rel_deviation =
+          std::max(fit.max_rel_deviation,
+                   std::abs(pt.w_needed - predicted) / predicted);
+    }
+  }
+  return fit;
+}
+
+}  // namespace simdts::analysis

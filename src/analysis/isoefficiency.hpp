@@ -1,0 +1,70 @@
+// Experimental isoefficiency harness (Figures 4 and 7).
+//
+// An isoefficiency curve for efficiency E plots, against P log P, the
+// problem size W needed to sustain E on P processors.  Following the paper,
+// the harness runs a scheme over a (P, W) grid, then for each machine size
+// interpolates (in log W) the problem size that reaches each target
+// efficiency.  A scheme is O(P log P)-scalable exactly when its curves are
+// straight lines in these coordinates — which is what the benches assert
+// qualitatively for GP and refute for nGP at high thresholds.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "lb/config.hpp"
+#include "simd/cost_model.hpp"
+#include "synthetic/workloads.hpp"
+
+namespace simdts::analysis {
+
+struct GridPoint {
+  std::uint32_t p = 0;
+  std::uint64_t w = 0;       ///< measured tree size (== serial W)
+  double efficiency = 0.0;
+  std::uint64_t expand_cycles = 0;
+  std::uint64_t lb_phases = 0;
+  std::uint64_t lb_rounds = 0;
+};
+
+struct GridResult {
+  lb::SchemeConfig config;
+  std::vector<GridPoint> points;  ///< grouped by p, ascending w within
+};
+
+/// Runs the scheme over every (machine size, workload) pair.
+[[nodiscard]] GridResult run_grid(
+    const lb::SchemeConfig& config,
+    std::span<const synthetic::SyntheticWorkload> workloads,
+    std::span<const std::uint32_t> machine_sizes,
+    const simd::CostModel& cost);
+
+struct IsoCurvePoint {
+  std::uint32_t p = 0;
+  double w_needed = 0.0;    ///< interpolated W reaching the target efficiency
+  double p_log_p = 0.0;     ///< the x coordinate of the paper's figures
+  bool extrapolated = false;  ///< target outside the measured W range
+};
+
+struct IsoCurve {
+  double efficiency = 0.0;
+  std::vector<IsoCurvePoint> points;
+};
+
+/// Extracts curves for each target efficiency from a grid.  Efficiency is
+/// monotone (noisily) increasing in W for fixed P; interpolation is linear
+/// in (log W, E).
+[[nodiscard]] std::vector<IsoCurve> extract_curves(
+    const GridResult& grid, std::span<const double> targets);
+
+/// Least-squares slope of w_needed against p_log_p through the origin, and
+/// the maximum relative deviation of the curve from that line.  A small
+/// deviation means the isoefficiency is (experimentally) O(P log P).
+struct LineFit {
+  double slope = 0.0;
+  double max_rel_deviation = 0.0;
+};
+[[nodiscard]] LineFit fit_p_log_p(const IsoCurve& curve);
+
+}  // namespace simdts::analysis

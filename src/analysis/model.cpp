@@ -1,0 +1,92 @@
+#include "analysis/model.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace simdts::analysis {
+
+double split_log(double w, double alpha) {
+  if (w <= 1.0) return 0.0;
+  if (alpha <= 0.0 || alpha >= 1.0) {
+    throw std::invalid_argument("split_log: alpha must be in (0, 1)");
+  }
+  return std::log(w) / std::log(1.0 / (1.0 - alpha));
+}
+
+double optimal_static_trigger(const TriggerModel& m) {
+  const double lw = split_log(m.w, m.alpha);
+  const double inner =
+      static_cast<double>(m.p) * m.tlb_over_ucalc * lw / m.w;
+  return 1.0 / (std::sqrt(inner) + 1.0);
+}
+
+double predicted_efficiency_gp(const TriggerModel& m, double x) {
+  if (x <= 0.0 || x >= 1.0) {
+    throw std::invalid_argument("predicted_efficiency_gp: x must be in (0,1)");
+  }
+  const double lw = split_log(m.w, m.alpha);
+  const double overhead =
+      static_cast<double>(m.p) * lw * m.tlb_over_ucalc / m.w;
+  return 1.0 / (1.0 / x + overhead / (1.0 - x));
+}
+
+double v_bound_gp(double x) {
+  if (x >= 1.0) throw std::invalid_argument("v_bound_gp: x must be < 1");
+  return x <= 0.5 ? 1.0 : 1.0 / (1.0 - x);
+}
+
+double v_bound_ngp(double x, double w) {
+  if (x <= 0.5) return 1.0;
+  if (x >= 1.0) throw std::invalid_argument("v_bound_ngp: x must be < 1");
+  const double exponent = (2.0 * x - 1.0) / (1.0 - x);
+  return std::pow(std::log2(w), exponent);
+}
+
+double lb_phase_bound(double v_of_p, double w, double alpha) {
+  return v_of_p * split_log(w, alpha);
+}
+
+namespace {
+
+double grow_gp_cm2(double p, double /*x*/) { return p * std::log2(p); }
+
+double grow_ngp_cm2(double p, double x) {
+  // W = O(P log^{x/(1-x)} P).
+  return p * std::pow(std::log2(p), x / (1.0 - x));
+}
+
+double grow_gp_hypercube(double p, double /*x*/) {
+  const double lg = std::log2(p);
+  return p * lg * lg * lg;
+}
+
+double grow_ngp_hypercube(double p, double x) {
+  // W = O(P log^{(2 + x/(1-x))} P): the t_lb = log^2 P factor on top of the
+  // nGP V(P) growth.
+  return p * std::pow(std::log2(p), 2.0 + x / (1.0 - x));
+}
+
+double grow_gp_mesh(double p, double /*x*/) {
+  return std::pow(p, 1.5) * std::log2(p);
+}
+
+double grow_ngp_mesh(double p, double x) {
+  return std::pow(p, 1.5) * std::pow(std::log2(p), x / (1.0 - x));
+}
+
+}  // namespace
+
+std::vector<IsoefficiencyFormula> table6_formulas() {
+  return {
+      {"CM-2 (t_lb = O(1))", "GP-S^x", "W = O(P log P)", &grow_gp_cm2},
+      {"CM-2 (t_lb = O(1))", "nGP-S^x", "W = O(P log^{x/(1-x)} P)",
+       &grow_ngp_cm2},
+      {"Hypercube", "GP-S^x", "W = O(P log^3 P)", &grow_gp_hypercube},
+      {"Hypercube", "nGP-S^x", "W = O(P log^{2 + x/(1-x)} P)",
+       &grow_ngp_hypercube},
+      {"Mesh", "GP-S^x", "W = O(P^1.5 log P)", &grow_gp_mesh},
+      {"Mesh", "nGP-S^x", "W = O(P^1.5 log^{x/(1-x)} P)", &grow_ngp_mesh},
+  };
+}
+
+}  // namespace simdts::analysis

@@ -1,0 +1,61 @@
+// The paper's analytic models (Sections 4 and 9, Appendices A and B).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace simdts::analysis {
+
+/// Parameters of the optimal static trigger equation (eq. 18).
+struct TriggerModel {
+  double w;               ///< problem size W (serial node expansions)
+  std::uint32_t p;        ///< number of processors
+  double tlb_over_ucalc;  ///< load-balancing phase cost / node expansion cost
+  double alpha = 0.7;     ///< splitting quality (the equation is insensitive
+                          ///< to alpha; the paper notes any reasonable
+                          ///< approximation is acceptable)
+};
+
+/// log_{1/(1-alpha)} W — the Appendix A bound on the transfers needed to
+/// exhaust work of size W under alpha-splitting.
+[[nodiscard]] double split_log(double w, double alpha);
+
+/// The optimal static trigger x_o (eq. 18):
+///   x_o = 1 / ( sqrt( P * (t_lb/U_calc) * log_{1/(1-alpha)} W / W ) + 1 ).
+[[nodiscard]] double optimal_static_trigger(const TriggerModel& m);
+
+/// Predicted efficiency of GP-S^x assuming beta = 0 (eq. 17):
+///   E = 1 / ( 1/x + (1/(1-x)) * P log W t_lb / (W U_calc) ).
+[[nodiscard]] double predicted_efficiency_gp(const TriggerModel& m, double x);
+
+/// Upper bound on V(P) — load-balancing phases per "every busy processor
+/// donated once" epoch — for GP with static trigger x (Section 4.1):
+/// 1/(1-x).
+[[nodiscard]] double v_bound_gp(double x);
+
+/// Upper bound on V(P) for nGP with static trigger x (Appendix B):
+/// (log2 W)^((2x-1)/(1-x)) for x > 0.5; 1 otherwise.
+[[nodiscard]] double v_bound_ngp(double x, double w);
+
+/// Upper bound on the total number of load-balancing phases:
+/// V(P) * log_{1/(1-alpha)} W  (Appendix A).
+[[nodiscard]] double lb_phase_bound(double v_of_p, double w, double alpha);
+
+/// One row of the paper's Table 6: the isoefficiency function of a
+/// matching/static-trigger combination on an architecture, as a formula
+/// string and as an evaluator for plotting.
+struct IsoefficiencyFormula {
+  std::string architecture;
+  std::string scheme;
+  std::string formula;
+  /// Evaluates the isoefficiency growth term for machine size p (up to the
+  /// constant factor; x is the static trigger threshold where relevant).
+  double (*grow)(double p, double x);
+};
+
+/// All rows of Table 6 (hypercube and mesh, nGP-S^x and GP-S^x), plus the
+/// CM-2 rows used in the experiments (t_lb = O(1): W = O(P log P) for GP).
+[[nodiscard]] std::vector<IsoefficiencyFormula> table6_formulas();
+
+}  // namespace simdts::analysis

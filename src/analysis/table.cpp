@@ -1,0 +1,106 @@
+#include "analysis/table.hpp"
+
+#include <filesystem>
+#include <fstream>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace simdts::analysis {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  if (headers_.empty()) {
+    throw std::invalid_argument("Table: need at least one column");
+  }
+}
+
+Table& Table::row() {
+  if (!cells_.empty() && cells_.back().size() != headers_.size()) {
+    throw std::logic_error("Table: previous row incomplete");
+  }
+  cells_.emplace_back();
+  return *this;
+}
+
+Table& Table::add(std::string cell) {
+  if (cells_.empty()) row();
+  if (cells_.back().size() >= headers_.size()) {
+    throw std::logic_error("Table: too many cells in row");
+  }
+  cells_.back().push_back(std::move(cell));
+  return *this;
+}
+
+Table& Table::add(const char* cell) { return add(std::string(cell)); }
+Table& Table::add(std::uint64_t v) { return add(std::to_string(v)); }
+Table& Table::add(std::int64_t v) { return add(std::to_string(v)); }
+Table& Table::add(int v) { return add(std::to_string(v)); }
+Table& Table::add(double v, int precision) {
+  return add(format_double(v, precision));
+}
+
+std::string Table::to_string() const {
+  std::vector<std::size_t> width(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    width[c] = headers_[c].size();
+  }
+  for (const auto& row : cells_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+  std::ostringstream os;
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      const std::string& cell = c < row.size() ? row[c] : std::string();
+      os << (c == 0 ? "" : "  ") << std::setw(static_cast<int>(width[c]))
+         << cell;
+    }
+    os << '\n';
+  };
+  emit(headers_);
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    os << (c == 0 ? "" : "  ") << std::string(width[c], '-');
+  }
+  os << '\n';
+  for (const auto& row : cells_) emit(row);
+  return os.str();
+}
+
+std::string Table::to_csv() const {
+  std::ostringstream os;
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << (c == 0 ? "" : ",") << row[c];
+    }
+    os << '\n';
+  };
+  emit(headers_);
+  for (const auto& row : cells_) emit(row);
+  return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const Table& t) {
+  return os << t.to_string();
+}
+
+std::string format_double(double v, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << v;
+  return os.str();
+}
+
+bool write_file(const std::string& path, const std::string& content) {
+  std::error_code ec;
+  const std::filesystem::path p(path);
+  if (p.has_parent_path()) {
+    std::filesystem::create_directories(p.parent_path(), ec);
+  }
+  std::ofstream out(p);
+  if (!out) return false;
+  out << content;
+  return static_cast<bool>(out);
+}
+
+}  // namespace simdts::analysis

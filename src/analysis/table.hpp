@@ -1,0 +1,53 @@
+// Fixed-width text tables and CSV emission for the experiment harness.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace simdts::analysis {
+
+/// A simple column-aligned table builder.  Cells are strings; numeric
+/// convenience overloads format with sensible defaults.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Starts a new row.  Cells are appended with add().
+  Table& row();
+  Table& add(std::string cell);
+  Table& add(const char* cell);
+  Table& add(std::uint64_t v);
+  Table& add(std::int64_t v);
+  Table& add(int v);
+  Table& add(double v, int precision = 2);
+
+  /// Renders with column alignment and a header rule.
+  [[nodiscard]] std::string to_string() const;
+
+  /// Renders as CSV (no quoting beyond commas-in-cells being forbidden).
+  [[nodiscard]] std::string to_csv() const;
+
+  /// Writes to a stream.
+  friend std::ostream& operator<<(std::ostream& os, const Table& t);
+
+  [[nodiscard]] std::size_t rows() const { return cells_.size(); }
+  [[nodiscard]] std::size_t columns() const { return headers_.size(); }
+  [[nodiscard]] const std::string& cell(std::size_t r, std::size_t c) const {
+    return cells_.at(r).at(c);
+  }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> cells_;
+};
+
+/// Formats a double with fixed precision.
+[[nodiscard]] std::string format_double(double v, int precision = 2);
+
+/// Writes `content` to `path`, creating parent directories; returns false
+/// (without throwing) if the filesystem refuses.
+bool write_file(const std::string& path, const std::string& content);
+
+}  // namespace simdts::analysis

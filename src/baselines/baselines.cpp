@@ -1,0 +1,37 @@
+#include "baselines/baselines.hpp"
+
+namespace simdts::baselines {
+
+lb::SchemeConfig fess() {
+  lb::SchemeConfig cfg;
+  cfg.match = lb::MatchScheme::kNGP;
+  cfg.trigger = lb::TriggerKind::kAnyIdle;
+  cfg.multiple_transfers = false;
+  cfg.max_pairs_per_round = 1;  // "FESS performs a single work transfer"
+  return cfg;
+}
+
+lb::SchemeConfig fegs() {
+  lb::SchemeConfig cfg = fess();
+  cfg.max_pairs_per_round = 0;     // FEGS spreads work to everyone...
+  cfg.multiple_transfers = true;   // ...over as many rounds as needed
+  return cfg;
+}
+
+lb::SchemeConfig frye_give_one(double static_x) {
+  lb::SchemeConfig cfg;
+  cfg.match = lb::MatchScheme::kNGP;
+  cfg.trigger = lb::TriggerKind::kStatic;
+  cfg.static_x = static_x;
+  cfg.transfer = lb::TransferPolicy::kGiveOneNodeEach;
+  return cfg;
+}
+
+lb::SchemeConfig frye_neighbor() {
+  lb::SchemeConfig cfg;
+  cfg.match = lb::MatchScheme::kNeighbor;
+  cfg.trigger = lb::TriggerKind::kEveryCycle;
+  return cfg;
+}
+
+}  // namespace simdts::baselines

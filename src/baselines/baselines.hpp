@@ -1,0 +1,29 @@
+// The Section 8 related-work schemes as named engine configurations.
+//
+//  - FESS (Mahanti & Daniels): trigger as soon as one processor goes idle,
+//    nGP-style matching, one work transfer per phase.
+//  - FEGS (Mahanti & Daniels): same trigger, but transfer rounds repeat until
+//    the work is spread over all processors.
+//  - Frye & Myczkowski's first scheme: static trigger, but each busy
+//    processor hands *single nodes* to as many idle processors as it can
+//    spare — a deliberately poor splitting mechanism.
+//  - Frye & Myczkowski's second scheme: nearest-neighbour transfers on a
+//    ring after every node-expansion cycle.
+//
+// All four reuse the generic Engine; the point of the comparison bench is
+// that the paper's GP/trigger machinery beats them for the reasons the
+// analysis predicts (FESS load balances far too often; give-one splitting
+// violates the alpha-splitting assumption; nearest-neighbour moves work only
+// one hop per phase).
+#pragma once
+
+#include "lb/config.hpp"
+
+namespace simdts::baselines {
+
+[[nodiscard]] lb::SchemeConfig fess();
+[[nodiscard]] lb::SchemeConfig fegs();
+[[nodiscard]] lb::SchemeConfig frye_give_one(double static_x);
+[[nodiscard]] lb::SchemeConfig frye_neighbor();
+
+}  // namespace simdts::baselines

@@ -1,0 +1,106 @@
+#include "lb/config.hpp"
+
+#include <sstream>
+
+namespace simdts::lb {
+
+const char* to_string(MatchScheme m) {
+  switch (m) {
+    case MatchScheme::kNGP:
+      return "nGP";
+    case MatchScheme::kGP:
+      return "GP";
+    case MatchScheme::kNeighbor:
+      return "NN";
+  }
+  return "?";
+}
+
+const char* to_string(TriggerKind t) {
+  switch (t) {
+    case TriggerKind::kStatic:
+      return "S";
+    case TriggerKind::kDP:
+      return "DP";
+    case TriggerKind::kDK:
+      return "DK";
+    case TriggerKind::kAnyIdle:
+      return "AnyIdle";
+    case TriggerKind::kEveryCycle:
+      return "EveryCycle";
+  }
+  return "?";
+}
+
+const char* to_string(TransferPolicy t) {
+  switch (t) {
+    case TransferPolicy::kSplit:
+      return "split";
+    case TransferPolicy::kGiveOneNodeEach:
+      return "give-one";
+  }
+  return "?";
+}
+
+const char* to_string(BusyPolicy b) {
+  switch (b) {
+    case BusyPolicy::kSplittable:
+      return "splittable";
+    case BusyPolicy::kNonEmpty:
+      return "non-empty";
+  }
+  return "?";
+}
+
+std::string SchemeConfig::name() const {
+  std::ostringstream os;
+  os << to_string(match) << '-' << to_string(trigger);
+  if (trigger == TriggerKind::kStatic) {
+    os << static_x;
+  }
+  if (multiple_transfers) os << "*";
+  return os.str();
+}
+
+SchemeConfig ngp_static(double x) {
+  SchemeConfig cfg;
+  cfg.match = MatchScheme::kNGP;
+  cfg.trigger = TriggerKind::kStatic;
+  cfg.static_x = x;
+  return cfg;
+}
+
+SchemeConfig gp_static(double x) {
+  SchemeConfig cfg = ngp_static(x);
+  cfg.match = MatchScheme::kGP;
+  return cfg;
+}
+
+SchemeConfig ngp_dp() {
+  SchemeConfig cfg;
+  cfg.match = MatchScheme::kNGP;
+  cfg.trigger = TriggerKind::kDP;
+  cfg.multiple_transfers = true;  // required for D^P (Section 2.3)
+  return cfg;
+}
+
+SchemeConfig gp_dp() {
+  SchemeConfig cfg = ngp_dp();
+  cfg.match = MatchScheme::kGP;
+  return cfg;
+}
+
+SchemeConfig ngp_dk() {
+  SchemeConfig cfg;
+  cfg.match = MatchScheme::kNGP;
+  cfg.trigger = TriggerKind::kDK;
+  return cfg;
+}
+
+SchemeConfig gp_dk() {
+  SchemeConfig cfg = ngp_dk();
+  cfg.match = MatchScheme::kGP;
+  return cfg;
+}
+
+}  // namespace simdts::lb

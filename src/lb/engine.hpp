@@ -1,0 +1,372 @@
+// The parallel depth-first-search engine for (emulated) SIMD machines.
+//
+// This is the paper's Section 2 algorithm: the machine alternates between
+// *search phases* — lock-step node-expansion cycles in which every processor
+// with work pops and expands exactly one node — and *load-balancing phases*,
+// in which busy processors split their stacks and send half to idle ones.
+// A triggering condition, evaluated after every expansion cycle, decides when
+// to switch; a matching scheme decides who sends to whom.
+//
+// All the scheme combinations of the paper's Table 1 (and the Section 8
+// baselines) are expressed through SchemeConfig; the engine itself is
+// domain-independent over any TreeProblem.
+//
+// Determinism: the run is a pure function of (problem, P, config, cost
+// model).  Host threads, if provided via the Machine's pool, only spread one
+// lock-step cycle over cores; every PE's state is private, so the result is
+// identical for any thread count.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "lb/config.hpp"
+#include "lb/matching.hpp"
+#include "lb/metrics.hpp"
+#include "lb/trigger.hpp"
+#include "search/problem.hpp"
+#include "search/splitter.hpp"
+#include "search/work_stack.hpp"
+#include "simd/machine.hpp"
+
+namespace simdts::lb {
+
+template <search::TreeProblem P>
+class Engine {
+ public:
+  using Node = typename P::Node;
+
+  Engine(const P& problem, simd::Machine& machine, SchemeConfig cfg)
+      : problem_(problem),
+        machine_(machine),
+        cfg_(cfg),
+        matcher_(cfg.match),
+        stacks_(machine.size()),
+        busy_flags_(machine.size()),
+        idle_flags_(machine.size()) {}
+
+  /// One bounded parallel DFS from the problem root: the root node is given
+  /// to processor 0, the space is searched to exhaustion (all solutions at
+  /// the bound are found — the paper's anomaly-free setup), and the
+  /// iteration's metrics are returned.
+  IterationStats run_iteration(search::Bound bound) {
+    return run_core(bound, Mode::kExhaustive).stats;
+  }
+
+  /// First-solution mode: the machine quits at the end of the first
+  /// node-expansion cycle in which any processor found a goal ("when a goal
+  /// node is found, all of them quit", Section 2).  Node counts can then
+  /// differ from the serial first-solution search in either direction —
+  /// the speedup anomalies of Rao & Kumar that the paper's main experiments
+  /// deliberately avoid.
+  IterationStats run_first_solution(search::Bound bound) {
+    return run_core(bound, Mode::kFirstSolution).stats;
+  }
+
+  struct BnbResult {
+    IterationStats stats;
+    /// Best goal f-value found (kUnbounded if none).
+    search::Bound best = search::kUnbounded;
+  };
+
+  /// Depth-first branch and bound: searches exhaustively while *tightening*
+  /// the cost bound whenever a better goal turns up.  Note that
+  /// stats.goals_found counts every goal popped (including ones worse than
+  /// the incumbent at their pop time), unlike serial_branch_and_bound's
+  /// improvement count — the two are not comparable.  The incumbent is
+  /// refreshed between expansion cycles — on the real machine a global
+  /// min-reduction, which the CM-2 provides as a hardware scan.  Goals must
+  /// report their full solution cost through f_value().
+  BnbResult run_branch_and_bound(search::Bound initial_bound
+                                 = search::kUnbounded) {
+    return run_core(initial_bound, Mode::kBranchAndBound);
+  }
+
+ private:
+  enum class Mode { kExhaustive, kFirstSolution, kBranchAndBound };
+
+  BnbResult run_core(search::Bound bound, Mode mode) {
+    const simd::MachineClock before = machine_.clock();
+    BnbResult result;
+    IterationStats& stats = result.stats;
+    stats.bound = bound;
+
+    for (auto& s : stacks_) s.clear();
+    stacks_[0].push(problem_.root());
+    next_bound_ = search::NextBound{};
+    goal_nodes_.clear();
+    std::size_t goals_seen = 0;  // goal_nodes_ scanned so far (for B&B)
+
+    Trigger trigger(cfg_, machine_.size(), machine_.cost().t_expand,
+                    initial_lb_cost());
+    trigger.begin_search_phase();
+    // The initial work-distribution phase (Section 7): dynamic triggers are
+    // preceded by static triggering at init_threshold until that fraction of
+    // processors is active.
+    bool init_phase =
+        cfg_.trigger == TriggerKind::kDP || cfg_.trigger == TriggerKind::kDK;
+
+    Counts counts = recount();
+    while (counts.nonempty > 0) {
+      const Counts after = expand_cycle(bound, stats);
+      machine_.charge_expand_cycle(counts.nonempty);
+      trigger.note_cycle(counts.nonempty);
+      ++stats.expand_cycles;
+      counts = after;
+      if (cfg_.record_trace) {
+        stats.trace.push_back(TracePoint{counts.nonempty, counts.splittable});
+      }
+
+      if (mode == Mode::kFirstSolution && stats.goals_found > 0) {
+        break;  // "when a goal node is found, all of them quit"
+      }
+      if (mode == Mode::kBranchAndBound) {
+        // Global min-reduction over this cycle's new goals; tightening the
+        // shared bound prunes everything not strictly better.
+        for (; goals_seen < goal_nodes_.size(); ++goals_seen) {
+          const search::Bound f = problem_.f_value(goal_nodes_[goals_seen]);
+          if (f < result.best) result.best = f;
+        }
+        if (result.best != search::kUnbounded && result.best - 1 < bound) {
+          bound = result.best - 1;
+        }
+      }
+
+      const std::uint32_t active = cfg_.busy == BusyPolicy::kSplittable
+                                       ? counts.splittable
+                                       : counts.nonempty;
+      bool fire;
+      if (init_phase) {
+        const bool below = static_cast<double>(active) <=
+                           cfg_.init_threshold *
+                               static_cast<double>(machine_.size());
+        if (!below) init_phase = false;
+        fire = below;
+      } else {
+        fire = trigger.should_trigger(active, counts.empty);
+      }
+      if (fire && counts.empty > 0 && counts.splittable > 0) {
+        lb_phase(stats, trigger);
+        counts = recount();
+      }
+    }
+
+    stats.nodes_expanded = (machine_.clock() - before).nodes_expanded;
+    stats.clock = machine_.clock() - before;
+    if (next_bound_.has_value()) stats.next_bound = next_bound_.value();
+    return result;
+  }
+
+ public:
+  /// Full parallel IDA*: repeats run_iteration with increasing thresholds
+  /// until an iteration finds a goal (that iteration still runs to
+  /// exhaustion).  `max_expanded`, if non-zero, aborts once the total number
+  /// of expansions exceeds it.
+  RunStats run(std::uint64_t max_expanded = 0) {
+    RunStats rs;
+    goal_nodes_.clear();
+    search::Bound bound = problem_.f_value(problem_.root());
+    for (;;) {
+      IterationStats iter = run_iteration(bound);
+      rs.total += iter;
+      rs.final_iteration = iter;
+      rs.iterations.push_back(std::move(iter));
+      const IterationStats& done = rs.iterations.back();
+      if (done.goals_found > 0) {
+        rs.solution_bound = bound;
+        rs.goals_found = done.goals_found;
+        return rs;
+      }
+      if (done.next_bound == search::kUnbounded) return rs;  // exhausted
+      if (max_expanded != 0 && rs.total.nodes_expanded > max_expanded) {
+        return rs;  // budget exceeded
+      }
+      bound = done.next_bound;
+    }
+  }
+
+  /// Goal nodes found during the last run (all solutions at the final
+  /// threshold, in no particular order).
+  [[nodiscard]] const std::vector<Node>& goal_nodes() const {
+    return goal_nodes_;
+  }
+
+  /// The matcher (exposing the GP global pointer for tests).
+  [[nodiscard]] const Matcher& matcher() const { return matcher_; }
+
+  /// Direct access to the PE stacks, for white-box tests.
+  [[nodiscard]] const std::vector<search::WorkStack<Node>>& stacks() const {
+    return stacks_;
+  }
+
+ private:
+  struct Counts {
+    std::uint32_t nonempty = 0;
+    std::uint32_t splittable = 0;
+    std::uint32_t empty = 0;
+  };
+
+  [[nodiscard]] double initial_lb_cost() const {
+    return cfg_.match == MatchScheme::kNeighbor
+               ? machine_.cost().neighbor_cost()
+               : machine_.lb_round_cost();
+  }
+
+  [[nodiscard]] Counts recount() const {
+    Counts c;
+    for (const auto& s : stacks_) {
+      if (s.empty()) {
+        ++c.empty;
+      } else {
+        ++c.nonempty;
+        if (s.splittable()) ++c.splittable;
+      }
+    }
+    return c;
+  }
+
+  /// One lock-step node-expansion cycle.  Every non-empty PE pops one node;
+  /// goal nodes are recorded (and not expanded), everything else is expanded
+  /// with the bound.  Returns the post-cycle stack census.
+  Counts expand_cycle(search::Bound bound, IterationStats& stats) {
+    Counts after;
+    simd::ThreadPool* pool = machine_.pool();
+    auto body = [&](std::size_t begin, std::size_t end) {
+      Counts local;
+      std::uint64_t goals = 0;
+      std::vector<Node> local_goal_nodes;
+      std::vector<Node> children;
+      search::NextBound nb;
+      for (std::size_t i = begin; i < end; ++i) {
+        auto& st = stacks_[i];
+        if (!st.empty()) {
+          Node n = st.pop();
+          if (problem_.is_goal(n)) {
+            ++goals;
+            local_goal_nodes.push_back(n);
+          } else {
+            children.clear();
+            problem_.expand(n, bound, children, nb);
+            for (auto& c : children) st.push(std::move(c));
+          }
+        }
+        if (st.empty()) {
+          ++local.empty;
+        } else {
+          ++local.nonempty;
+          if (st.splittable()) ++local.splittable;
+        }
+      }
+      const std::lock_guard lock(merge_mu_);
+      after.nonempty += local.nonempty;
+      after.splittable += local.splittable;
+      after.empty += local.empty;
+      stats.goals_found += goals;
+      next_bound_.merge(nb);
+      goal_nodes_.insert(goal_nodes_.end(), local_goal_nodes.begin(),
+                         local_goal_nodes.end());
+    };
+    if (pool != nullptr && pool->size() > 1) {
+      pool->parallel_for(stacks_.size(), body);
+    } else {
+      body(0, stacks_.size());
+    }
+    return after;
+  }
+
+  void refresh_flags() {
+    for (std::size_t i = 0; i < stacks_.size(); ++i) {
+      busy_flags_[i] = stacks_[i].splittable() ? 1 : 0;
+      idle_flags_[i] = stacks_[i].empty() ? 1 : 0;
+    }
+  }
+
+  /// One load-balancing phase: one transfer round, or — with
+  /// multiple_transfers — rounds until no idle processor can be served.
+  /// A phase that cannot execute a single round (e.g. ring matching with no
+  /// busy/idle adjacency) is a no-op: nothing is charged or counted and the
+  /// trigger state is left untouched.
+  void lb_phase(IterationStats& stats, Trigger& trigger) {
+    const double cost_before = machine_.clock().elapsed;
+    std::uint64_t rounds = 0;
+    for (;;) {
+      refresh_flags();
+      std::vector<simd::Pair> pairs;
+      std::uint64_t transfers = 0;
+      if (cfg_.match == MatchScheme::kNeighbor) {
+        pairs = neighbor_pairs(busy_flags_, idle_flags_);
+        if (pairs.empty()) break;
+        transfers = transfer_split(pairs);
+        machine_.charge_neighbor_round();
+      } else if (cfg_.transfer == TransferPolicy::kGiveOneNodeEach) {
+        transfers = transfer_give_one();
+        if (transfers == 0) break;
+        machine_.charge_lb_round();
+      } else {
+        const std::size_t limit = cfg_.max_pairs_per_round == 0
+                                      ? static_cast<std::size_t>(-1)
+                                      : cfg_.max_pairs_per_round;
+        pairs = matcher_.match(busy_flags_, idle_flags_, limit);
+        if (pairs.empty()) break;
+        transfers = transfer_split(pairs);
+        machine_.charge_lb_round();
+      }
+      ++stats.lb_rounds;
+      ++rounds;
+      stats.transfers += transfers;
+      if (!cfg_.multiple_transfers) break;
+    }
+    if (rounds == 0) return;
+    ++stats.lb_phases;
+    trigger.note_lb_cost(machine_.clock().elapsed - cost_before);
+    trigger.begin_search_phase();
+  }
+
+  /// Executes split transfers for matched pairs; returns the transfer count.
+  std::uint64_t transfer_split(const std::vector<simd::Pair>& pairs) {
+    for (const auto& [donor, receiver] : pairs) {
+      assert(stacks_[donor].splittable());
+      assert(stacks_[receiver].empty());
+      search::receive(stacks_[receiver],
+                      search::split(stacks_[donor], cfg_.split));
+    }
+    return pairs.size();
+  }
+
+  /// Frye's first scheme: each busy processor hands single nodes to as many
+  /// idle processors as it can spare (keeping one node for itself).
+  std::uint64_t transfer_give_one() {
+    const simd::PeIndex start_after =
+        cfg_.match == MatchScheme::kGP ? matcher_.pointer() : simd::kNoPe;
+    const std::vector<simd::PeIndex> donors =
+        simd::ranked(busy_flags_, start_after);
+    const std::vector<simd::PeIndex> receivers = simd::ranked(idle_flags_);
+    std::uint64_t transfers = 0;
+    std::size_t r = 0;
+    for (const simd::PeIndex d : donors) {
+      auto& st = stacks_[d];
+      while (st.size() >= 2 && r < receivers.size()) {
+        stacks_[receivers[r]].push(st.take_bottom());
+        ++r;
+        ++transfers;
+      }
+      if (r == receivers.size()) break;
+    }
+    return transfers;
+  }
+
+  const P& problem_;
+  simd::Machine& machine_;
+  SchemeConfig cfg_;
+  Matcher matcher_;
+  std::vector<search::WorkStack<Node>> stacks_;
+  std::vector<std::uint8_t> busy_flags_;
+  std::vector<std::uint8_t> idle_flags_;
+  std::vector<Node> goal_nodes_;
+  search::NextBound next_bound_;
+  std::mutex merge_mu_;
+};
+
+}  // namespace simdts::lb

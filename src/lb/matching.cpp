@@ -1,0 +1,34 @@
+#include "lb/matching.hpp"
+
+namespace simdts::lb {
+
+std::vector<simd::Pair> Matcher::match(
+    std::span<const std::uint8_t> busy_flags,
+    std::span<const std::uint8_t> idle_flags, std::size_t limit) {
+  const simd::PeIndex start_after =
+      scheme_ == MatchScheme::kGP ? pointer_ : simd::kNoPe;
+  std::vector<simd::Pair> pairs =
+      simd::rendezvous(busy_flags, idle_flags, start_after);
+  if (pairs.size() > limit) pairs.resize(limit);
+  if (scheme_ == MatchScheme::kGP && !pairs.empty()) {
+    pointer_ = pairs.back().donor;
+  }
+  return pairs;
+}
+
+std::vector<simd::Pair> neighbor_pairs(
+    std::span<const std::uint8_t> busy_flags,
+    std::span<const std::uint8_t> idle_flags) {
+  const std::size_t p = busy_flags.size();
+  std::vector<simd::Pair> pairs;
+  for (std::size_t i = 0; i < p; ++i) {
+    const std::size_t j = (i + 1) % p;
+    if (busy_flags[i] != 0 && idle_flags[j] != 0) {
+      pairs.push_back(simd::Pair{static_cast<simd::PeIndex>(i),
+                                 static_cast<simd::PeIndex>(j)});
+    }
+  }
+  return pairs;
+}
+
+}  // namespace simdts::lb

@@ -1,0 +1,58 @@
+// Matching schemes: nGP and GP (Section 2), plus the ring nearest-neighbour
+// pairing used by the Frye baseline.
+//
+// Both global schemes are one-on-one matchings of busy donors to idle
+// receivers via enumeration (sum-scans on the real machine).  nGP enumerates
+// busy processors from PE 0 every time, so the processors early in the
+// enumeration sequence are drafted into donating over and over (Appendix B
+// shows V(P) can reach log^{(2x-1)/(1-x)} W phases).  GP keeps a *global
+// pointer* to the last donor of the previous phase and starts the busy
+// enumeration just after it, wrapping around — every processor shares the
+// donation burden, and V(P) drops to 1/(1-x).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "lb/config.hpp"
+#include "simd/rendezvous.hpp"
+
+namespace simdts::lb {
+
+class Matcher {
+ public:
+  explicit Matcher(MatchScheme scheme) : scheme_(scheme) {}
+
+  /// Produces min(#busy, #idle, limit) donor->receiver pairs.  For GP,
+  /// advances the global pointer to the last donor of this call.  The limit
+  /// exists for the FESS baseline, which serves a single idle processor per
+  /// phase.
+  [[nodiscard]] std::vector<simd::Pair> match(
+      std::span<const std::uint8_t> busy_flags,
+      std::span<const std::uint8_t> idle_flags,
+      std::size_t limit = static_cast<std::size_t>(-1));
+
+  /// Position of the global pointer (kNoPe before the first GP phase, and
+  /// always kNoPe for nGP).
+  [[nodiscard]] simd::PeIndex pointer() const { return pointer_; }
+
+  /// Resets the pointer (e.g. between IDA* iterations, the pointer persists;
+  /// call this only to re-run from scratch).
+  void reset() { pointer_ = simd::kNoPe; }
+
+  [[nodiscard]] MatchScheme scheme() const { return scheme_; }
+
+ private:
+  MatchScheme scheme_;
+  simd::PeIndex pointer_ = simd::kNoPe;
+};
+
+/// Ring nearest-neighbour pairing: PE i donates to PE i+1 (mod P) when i is
+/// busy and i+1 is idle.  Decisions are taken on the snapshot flags, as on a
+/// lock-step machine.
+[[nodiscard]] std::vector<simd::Pair> neighbor_pairs(
+    std::span<const std::uint8_t> busy_flags,
+    std::span<const std::uint8_t> idle_flags);
+
+}  // namespace simdts::lb

@@ -1,0 +1,41 @@
+#include "lb/metrics.hpp"
+
+#include <sstream>
+
+#include "search/bound.hpp"
+
+namespace simdts::lb {
+
+IterationStats& IterationStats::operator+=(const IterationStats& o) {
+  nodes_expanded += o.nodes_expanded;
+  goals_found += o.goals_found;
+  expand_cycles += o.expand_cycles;
+  lb_phases += o.lb_phases;
+  lb_rounds += o.lb_rounds;
+  transfers += o.transfers;
+  clock += o.clock;
+  // bound / next_bound / trace are per-iteration quantities; keep the
+  // accumulator's values untouched.
+  return *this;
+}
+
+std::string summarize(const IterationStats& s) {
+  std::ostringstream os;
+  os << "bound=" << search::describe(s.bound) << " W=" << s.nodes_expanded
+     << " goals=" << s.goals_found << " Nexpand=" << s.expand_cycles
+     << " Nlb=" << s.lb_phases << " rounds=" << s.lb_rounds
+     << " transfers=" << s.transfers << " E=" << s.efficiency();
+  return os.str();
+}
+
+std::string summarize(const RunStats& s) {
+  std::ostringstream os;
+  os << "solution=" << search::describe(s.solution_bound)
+     << " goals=" << s.goals_found << " iterations=" << s.iterations.size()
+     << " W=" << s.total.nodes_expanded
+     << " Nexpand=" << s.total.expand_cycles << " Nlb=" << s.total.lb_phases
+     << " rounds=" << s.total.lb_rounds << " E=" << s.efficiency();
+  return os.str();
+}
+
+}  // namespace simdts::lb

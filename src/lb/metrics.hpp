@@ -1,0 +1,53 @@
+// Run metrics: everything the paper's tables report.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "search/problem.hpp"
+#include "simd/machine.hpp"
+
+namespace simdts::lb {
+
+/// Per-cycle activity snapshot (Figure 8 traces).
+struct TracePoint {
+  std::uint32_t working;     ///< PEs that expanded a node this cycle
+  std::uint32_t splittable;  ///< PEs that were busy in the paper's sense
+};
+
+/// Metrics of one bounded parallel DFS (one IDA* iteration).
+struct IterationStats {
+  search::Bound bound = 0;
+  std::uint64_t nodes_expanded = 0;  ///< pops (== serial W of the iteration)
+  std::uint64_t goals_found = 0;
+  search::Bound next_bound = search::kUnbounded;
+  std::uint64_t expand_cycles = 0;   ///< N_expand
+  std::uint64_t lb_phases = 0;       ///< N_lb (phases)
+  std::uint64_t lb_rounds = 0;       ///< *N_lb (transfer rounds)
+  std::uint64_t transfers = 0;       ///< individual donor->receiver transfers
+  simd::MachineClock clock;          ///< simulated-time accounting
+  std::vector<TracePoint> trace;     ///< per-cycle activity, if recorded
+
+  /// E = T_calc / (T_calc + T_idle + T_lb), Section 3.1.
+  [[nodiscard]] double efficiency() const { return clock.efficiency(); }
+
+  IterationStats& operator+=(const IterationStats& o);
+};
+
+/// Metrics of a full parallel IDA* run (all iterations).
+struct RunStats {
+  search::Bound solution_bound = search::kUnbounded;
+  std::uint64_t goals_found = 0;  ///< goals at the solution threshold
+  IterationStats total;           ///< aggregated over all iterations
+  IterationStats final_iteration;
+  std::vector<IterationStats> iterations;
+
+  [[nodiscard]] double efficiency() const { return total.efficiency(); }
+};
+
+/// One-line human-readable summary.
+[[nodiscard]] std::string summarize(const IterationStats& s);
+[[nodiscard]] std::string summarize(const RunStats& s);
+
+}  // namespace simdts::lb

@@ -1,0 +1,48 @@
+#include "lb/trigger.hpp"
+
+namespace simdts::lb {
+
+Trigger::Trigger(const SchemeConfig& cfg, std::uint32_t p, double t_expand,
+                 double initial_lb_cost)
+    : kind_(cfg.trigger),
+      static_x_(cfg.static_x),
+      p_(p),
+      t_expand_(t_expand),
+      lb_cost_(initial_lb_cost) {}
+
+void Trigger::begin_search_phase() {
+  w_ = 0.0;
+  t_ = 0.0;
+  w_idle_ = 0.0;
+}
+
+void Trigger::note_cycle(std::uint32_t working) {
+  w_ += static_cast<double>(working) * t_expand_;
+  t_ += t_expand_;
+  w_idle_ += static_cast<double>(p_ - working) * t_expand_;
+}
+
+void Trigger::note_lb_cost(double cost) {
+  if (cost > 0.0) lb_cost_ = cost;
+}
+
+bool Trigger::should_trigger(std::uint32_t active, std::uint32_t idle) const {
+  switch (kind_) {
+    case TriggerKind::kStatic:
+      return static_cast<double>(active) <=
+             static_x_ * static_cast<double>(p_);
+    case TriggerKind::kDP: {
+      const double a = static_cast<double>(active);
+      return w_ - a * t_ >= a * lb_cost_;
+    }
+    case TriggerKind::kDK:
+      return w_idle_ >= lb_cost_ * static_cast<double>(p_);
+    case TriggerKind::kAnyIdle:
+      return idle >= 1;
+    case TriggerKind::kEveryCycle:
+      return true;
+  }
+  return false;
+}
+
+}  // namespace simdts::lb

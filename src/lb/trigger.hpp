@@ -1,0 +1,62 @@
+// Triggering conditions (Section 2 of the paper).
+//
+// The trigger decides, after each node-expansion cycle, whether the machine
+// enters a load-balancing phase.  The dynamic triggers integrate quantities
+// over the current *search phase* (the stretch of cycles since the last
+// load-balancing phase):
+//
+//   S^x  (eq. 1):  A <= x * P
+//   D^P  (eq. 3):  w - A*t >= A*L     (w = work done in processor-time,
+//                                      t = elapsed search-phase time)
+//   D^K  (eq. 4):  w_idle >= L * P    (w_idle = accumulated idle time)
+//
+// L, the cost of the next load-balancing phase, cannot be known in advance;
+// following the paper it is approximated by the measured cost of the
+// previous phase.
+#pragma once
+
+#include <cstdint>
+
+#include "lb/config.hpp"
+
+namespace simdts::lb {
+
+class Trigger {
+ public:
+  Trigger(const SchemeConfig& cfg, std::uint32_t p, double t_expand,
+          double initial_lb_cost);
+
+  /// Starts a fresh search phase (after a load-balancing phase or at the
+  /// beginning of an iteration): resets the per-phase integrals.
+  void begin_search_phase();
+
+  /// Accounts one node-expansion cycle in which `working` PEs expanded.
+  void note_cycle(std::uint32_t working);
+
+  /// Updates the L estimate with the measured cost of the phase just done.
+  void note_lb_cost(double cost);
+
+  /// Evaluates the trigger condition given the current counts of active
+  /// (per BusyPolicy) and idle (empty-stack) processors.
+  [[nodiscard]] bool should_trigger(std::uint32_t active,
+                                    std::uint32_t idle) const;
+
+  /// Accumulated idle time this search phase (exposed for tests).
+  [[nodiscard]] double idle_integral() const { return w_idle_; }
+  /// Work integral this search phase (exposed for tests).
+  [[nodiscard]] double work_integral() const { return w_; }
+  /// Current L estimate.
+  [[nodiscard]] double lb_cost_estimate() const { return lb_cost_; }
+
+ private:
+  TriggerKind kind_;
+  double static_x_;
+  std::uint32_t p_;
+  double t_expand_;
+  double lb_cost_;   // L
+  double w_ = 0.0;      // work done this search phase (processor-time)
+  double t_ = 0.0;      // elapsed search-phase time
+  double w_idle_ = 0.0; // accumulated idle time this search phase
+};
+
+}  // namespace simdts::lb

@@ -1,0 +1,17 @@
+#include "mimd/engine.hpp"
+
+namespace simdts::mimd {
+
+const char* to_string(StealPolicy p) {
+  switch (p) {
+    case StealPolicy::kGlobalRoundRobin:
+      return "GRR";
+    case StealPolicy::kAsyncRoundRobin:
+      return "ARR";
+    case StealPolicy::kRandomPolling:
+      return "RP";
+  }
+  return "?";
+}
+
+}  // namespace simdts::mimd

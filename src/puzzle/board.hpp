@@ -1,0 +1,118 @@
+// The 15-puzzle board.
+//
+// A 4x4 tray of 15 numbered tiles and one blank; a move slides a tile
+// adjacent to the blank into the blank (equivalently: the blank moves
+// up/down/left/right).  Goal configuration follows Korf's convention — blank
+// in the upper-left corner, tiles 1..15 in row-major order.
+//
+// The board is packed into a single 64-bit word, one nibble per position
+// (position 0 = upper-left, row-major), which makes copies free and the
+// per-PE work stacks compact: 16 tiles x 4 bits = exactly 64 bits.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace simdts::puzzle {
+
+/// Side length and cell count of the tray.
+inline constexpr int kSide = 4;
+inline constexpr int kCells = 16;
+
+/// A move is the direction the *blank* travels.
+enum class Move : std::uint8_t { kUp = 0, kDown = 1, kLeft = 2, kRight = 3 };
+inline constexpr std::uint8_t kNoMove = 4;
+
+/// The opposite direction (used to forbid immediately undoing a move).
+[[nodiscard]] constexpr Move inverse(Move m) {
+  switch (m) {
+    case Move::kUp:
+      return Move::kDown;
+    case Move::kDown:
+      return Move::kUp;
+    case Move::kLeft:
+      return Move::kRight;
+    case Move::kRight:
+      return Move::kLeft;
+  }
+  return Move::kUp;
+}
+
+class Board {
+ public:
+  constexpr Board() = default;
+  constexpr explicit Board(std::uint64_t packed) : packed_(packed) {}
+
+  /// Builds a board from 16 tile values (position-major; value 0 = blank).
+  /// Throws std::invalid_argument unless the values are a permutation of
+  /// 0..15.
+  static Board from_tiles(const std::array<std::uint8_t, kCells>& tiles);
+
+  /// The goal board: blank at position 0, tiles 1..15 in order.
+  static constexpr Board goal() {
+    std::uint64_t packed = 0;
+    for (int pos = 1; pos < kCells; ++pos) {
+      packed |= static_cast<std::uint64_t>(pos) << (4 * pos);
+    }
+    return Board(packed);
+  }
+
+  [[nodiscard]] constexpr std::uint64_t packed() const { return packed_; }
+
+  /// Tile value at a position (0 = blank).
+  [[nodiscard]] constexpr std::uint8_t tile(int pos) const {
+    return static_cast<std::uint8_t>((packed_ >> (4 * pos)) & 0xF);
+  }
+
+  /// Position of the blank (linear scan; cache it in search nodes instead).
+  [[nodiscard]] int blank_position() const;
+
+  [[nodiscard]] std::array<std::uint8_t, kCells> tiles() const;
+
+  /// Applies a blank move; `blank` is the current blank position.  Returns
+  /// the new board, or nullopt if the move walks off the tray.  On success
+  /// `blank` is updated to the new blank position and `moved_tile` (if
+  /// non-null) receives the tile that slid.
+  [[nodiscard]] std::optional<Board> apply(Move m, int& blank,
+                                           std::uint8_t* moved_tile
+                                           = nullptr) const;
+
+  /// True when this configuration is reachable from the goal.  Solvability
+  /// is the conserved parity invariant: each move is a transposition (flips
+  /// permutation parity) and changes the blank's Manhattan distance from its
+  /// home corner by one, so permutation parity must equal blank-distance
+  /// parity.
+  [[nodiscard]] bool solvable() const;
+
+  /// Parity (0/1) of the permutation position -> tile.
+  [[nodiscard]] int permutation_parity() const;
+
+  /// Multi-line ASCII rendering, for examples and diagnostics.
+  [[nodiscard]] std::string to_string() const;
+
+  friend constexpr bool operator==(const Board&, const Board&) = default;
+
+ private:
+  std::uint64_t packed_ = 0;
+};
+
+/// Row / column of a linear position.
+[[nodiscard]] constexpr int row_of(int pos) { return pos / kSide; }
+[[nodiscard]] constexpr int col_of(int pos) { return pos % kSide; }
+
+/// Manhattan distance between two positions on the tray.
+[[nodiscard]] constexpr int manhattan_between(int a, int b) {
+  const int dr = row_of(a) - row_of(b);
+  const int dc = col_of(a) - col_of(b);
+  return (dr < 0 ? -dr : dr) + (dc < 0 ? -dc : dc);
+}
+
+/// Scrambles the goal board with `steps` random blank moves that never
+/// immediately undo each other (deterministic in `seed`).  The result is
+/// always solvable, with optimal solution length of the same parity as — and
+/// at most — the number of effective steps.
+[[nodiscard]] Board random_walk(std::uint64_t seed, int steps);
+
+}  // namespace simdts::puzzle

@@ -1,0 +1,40 @@
+// Admissible heuristics for the 15-puzzle.
+//
+// Manhattan distance is the heuristic Korf used for IDA* and what the
+// paper's implementation is based on; it supports an O(1) incremental update
+// per move, which is what keeps a node expansion cheap.  Linear conflict is
+// provided as an extension (strictly stronger, still admissible); it is
+// recomputed from scratch, so it trades node count for per-node cost.
+#pragma once
+
+#include <cstdint>
+
+#include "puzzle/board.hpp"
+
+namespace simdts::puzzle {
+
+enum class Heuristic : std::uint8_t {
+  kManhattan,
+  kLinearConflict,  ///< Manhattan + 2 per linear conflict
+};
+
+/// Manhattan distance of tile `t` when sitting at position `pos` (0 for the
+/// blank: it does not count toward the heuristic).
+[[nodiscard]] int tile_distance(std::uint8_t t, int pos);
+
+/// Sum of tile distances for a whole board.
+[[nodiscard]] int manhattan(const Board& board);
+
+/// Change in Manhattan distance when tile `t` slides from `from` to `to`.
+[[nodiscard]] inline int manhattan_delta(std::uint8_t t, int from, int to) {
+  return tile_distance(t, to) - tile_distance(t, from);
+}
+
+/// Manhattan + linear conflict (Hansson, Mayer & Yung): two tiles in their
+/// goal row (or column) that must pass each other add 2 moves each pair.
+[[nodiscard]] int linear_conflict(const Board& board);
+
+/// Evaluates the chosen heuristic on a board.
+[[nodiscard]] int evaluate(const Board& board, Heuristic h);
+
+}  // namespace simdts::puzzle

@@ -1,0 +1,63 @@
+#include "puzzle/instances.hpp"
+
+#include <vector>
+
+namespace simdts::puzzle {
+
+namespace {
+
+// Korf (1985), "Depth-First Iterative-Deepening: An Optimal Admissible Tree
+// Search", Table 2, instances 1-3 (position-major, 0 = blank).
+constexpr NamedInstance kKorf[] = {
+    {"korf-01",
+     {14, 13, 15, 7, 11, 12, 9, 5, 6, 0, 2, 1, 4, 8, 10, 3},
+     57},
+    {"korf-02",
+     {13, 5, 4, 10, 9, 12, 8, 14, 2, 3, 7, 1, 0, 15, 11, 6},
+     55},
+    {"korf-03",
+     {14, 7, 8, 2, 13, 11, 10, 4, 9, 12, 5, 0, 3, 6, 1, 15},
+     59},
+};
+
+constexpr const char* kSnakeNames[] = {
+    "snake-1", "snake-2", "snake-3", "snake-4",  "snake-5",  "snake-6",
+    "snake-7", "snake-8", "snake-9", "snake-10", "snake-11", "snake-12",
+};
+
+// Easy instances: slide the blank along a self-avoiding "snake" path of k
+// cells.  Every move then displaces a distinct tile by exactly one cell, so
+// the Manhattan heuristic of the result equals k and the inverse walk solves
+// it in k moves — the optimal length is exactly k by construction.
+std::vector<NamedInstance> make_easy() {
+  constexpr Move kSnake[] = {
+      Move::kRight, Move::kRight, Move::kRight,  // across row 0
+      Move::kDown,                               // to row 1
+      Move::kLeft, Move::kLeft, Move::kLeft,     // across row 1
+      Move::kDown,                               // to row 2
+      Move::kRight, Move::kRight, Move::kRight,  // across row 2
+      Move::kDown,                               // to row 3
+  };
+  static_assert(std::size(kSnake) == std::size(kSnakeNames));
+  std::vector<NamedInstance> out;
+  out.reserve(std::size(kSnake));
+  Board board = Board::goal();
+  int blank = 0;
+  for (std::size_t k = 0; k < std::size(kSnake); ++k) {
+    board = *board.apply(kSnake[k], blank);
+    out.push_back(NamedInstance{kSnakeNames[k], board.tiles(),
+                                static_cast<search::Bound>(k + 1)});
+  }
+  return out;
+}
+
+}  // namespace
+
+std::span<const NamedInstance> korf_instances() { return kKorf; }
+
+std::span<const NamedInstance> easy_instances() {
+  static const std::vector<NamedInstance> kEasy = make_easy();
+  return kEasy;
+}
+
+}  // namespace simdts::puzzle

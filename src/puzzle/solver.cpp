@@ -1,0 +1,94 @@
+#include "puzzle/solver.hpp"
+
+#include <stdexcept>
+
+namespace simdts::puzzle {
+
+namespace {
+
+struct Context {
+  Heuristic heuristic;
+  std::uint64_t expanded = 0;
+  std::uint64_t budget = 0;  // 0 = unlimited
+  std::vector<Move> path;
+  bool aborted = false;
+};
+
+constexpr int kFound = -1;
+
+/// Returns kFound when a goal is reached at f <= bound; otherwise the
+/// minimum f-value that exceeded the bound below this node.
+int search(Context& ctx, const Board& board, int blank, int g, int h,
+           int bound, std::uint8_t last) {
+  const int f = g + h;
+  if (f > bound) return f;
+  if (h == 0) return kFound;
+  ++ctx.expanded;
+  if (ctx.budget != 0 && ctx.expanded > ctx.budget) {
+    ctx.aborted = true;
+    return bound + 2;  // unwind; value is ignored once aborted
+  }
+  int min_over = INT32_MAX;
+  for (int mi = 0; mi < 4; ++mi) {
+    const auto m = static_cast<Move>(mi);
+    if (last != kNoMove && m == inverse(static_cast<Move>(last))) continue;
+    int next_blank = blank;
+    std::uint8_t moved = 0;
+    const auto next = board.apply(m, next_blank, &moved);
+    if (!next.has_value()) continue;
+    int next_h = h;
+    if (ctx.heuristic == Heuristic::kManhattan) {
+      next_h += manhattan_delta(moved, next_blank, blank);
+    } else {
+      next_h = evaluate(*next, ctx.heuristic);
+    }
+    ctx.path.push_back(m);
+    const int t = search(ctx, *next, next_blank, g + 1, next_h, bound,
+                         static_cast<std::uint8_t>(m));
+    if (t == kFound) return kFound;
+    if (ctx.aborted) return bound + 2;
+    ctx.path.pop_back();
+    if (t < min_over) min_over = t;
+  }
+  return min_over;
+}
+
+}  // namespace
+
+std::optional<Solution> solve(const Board& start, Heuristic heuristic,
+                              std::uint64_t max_expanded) {
+  if (!start.solvable()) return std::nullopt;
+  Context ctx;
+  ctx.heuristic = heuristic;
+  ctx.budget = max_expanded;
+  const int h0 = evaluate(start, heuristic);
+  const int blank = start.blank_position();
+  int bound = h0;
+  for (;;) {
+    ctx.path.clear();
+    const int t = search(ctx, start, blank, 0, h0, bound, kNoMove);
+    if (t == kFound) {
+      Solution s;
+      s.moves = ctx.path;
+      s.nodes_expanded = ctx.expanded;
+      return s;
+    }
+    if (ctx.aborted || t == INT32_MAX) return std::nullopt;
+    bound = t;
+  }
+}
+
+Board replay(const Board& start, const std::vector<Move>& moves) {
+  Board board = start;
+  int blank = board.blank_position();
+  for (const Move m : moves) {
+    const auto next = board.apply(m, blank);
+    if (!next.has_value()) {
+      throw std::invalid_argument("replay: illegal move in sequence");
+    }
+    board = *next;
+  }
+  return board;
+}
+
+}  // namespace simdts::puzzle

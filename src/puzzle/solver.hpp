@@ -1,0 +1,30 @@
+// A user-facing 15-puzzle solver: serial recursive IDA* that returns the
+// actual optimal move sequence (the parallel engine counts and verifies
+// trees; this is the "give me the answer" API for applications).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "puzzle/board.hpp"
+#include "puzzle/heuristic.hpp"
+
+namespace simdts::puzzle {
+
+struct Solution {
+  std::vector<Move> moves;         ///< blank moves transforming start -> goal
+  std::uint64_t nodes_expanded = 0;
+  int length() const { return static_cast<int>(moves.size()); }
+};
+
+/// Finds an optimal solution with IDA*.  Returns nullopt for unsolvable
+/// boards (checked up front via the parity invariant) or when
+/// `max_expanded` (if non-zero) is exceeded.
+[[nodiscard]] std::optional<Solution> solve(
+    const Board& start, Heuristic heuristic = Heuristic::kManhattan,
+    std::uint64_t max_expanded = 0);
+
+/// Applies a move sequence to a board (for verifying solutions).
+[[nodiscard]] Board replay(const Board& start, const std::vector<Move>& moves);
+
+}  // namespace simdts::puzzle

@@ -1,0 +1,40 @@
+#include "puzzle/workloads.hpp"
+
+namespace simdts::puzzle {
+
+namespace {
+
+// PINNED BY CALIBRATION (tools/calibrate_puzzle): instances are seeded
+// random walks from the goal; the serial_* columns were measured by serial
+// IDA* and are re-verified by the test suite (small instances always, the
+// large ones when SIMDTS_HEAVY_TESTS is set).
+//
+// The paper_w column is the paper's Table 2 / Table 5 problem size each
+// instance stands in for; the measured totals are within ~10% of them.
+constexpr PuzzleWorkload kPaper[] = {
+    {"w-0.9M", 505006, 90, 941852, 1028563, 803989, 40, 1},
+    {"w-3.1M", 303011, 56, 3055171, 3111530, 2552876, 44, 16},
+    {"w-6.1M", 404012, 72, 6073623, 6307354, 5322940, 50, 2},
+    {"w-16.1M", 303018, 56, 16110463, 16697177, 12654358, 40, 6},
+};
+
+constexpr PuzzleWorkload kTable5 = {
+    "w-2.1M", 202650, 120, 2067137, 2037539, 1672184, 44, 2};
+
+constexpr PuzzleWorkload kTest[] = {
+    {"t-60", 303015, 56, 0, 61, 60, 24, 1},
+    {"t-4k", 505020, 90, 0, 4066, 3338, 30, 1},
+    {"t-21k", 505021, 90, 0, 21016, 17005, 36, 6},
+    {"t-94k", 303021, 56, 0, 94324, 74131, 34, 3},
+    {"t-326k", 303006, 56, 0, 325837, 267413, 38, 4},
+};
+
+}  // namespace
+
+std::span<const PuzzleWorkload> paper_workloads() { return kPaper; }
+
+const PuzzleWorkload& table5_workload() { return kTable5; }
+
+std::span<const PuzzleWorkload> test_workloads() { return kTest; }
+
+}  // namespace simdts::puzzle

@@ -1,0 +1,46 @@
+// Calibrated 15-puzzle workloads.
+//
+// The paper's tables report results for four problem instances identified by
+// their serial tree size W in {941852, 3055171, 6073623, 16110463} (Table 2)
+// plus one of W = 2067137 for the load-balancing-cost study (Table 5).  The
+// exact Korf instances behind those numbers are not identified in the paper,
+// and W is the only property the experiments depend on — so we use seeded
+// random-walk instances *calibrated by measurement* to have serial IDA* tree
+// sizes as close as practical to the paper's.  The calibration was done once
+// with tools/calibrate_puzzle; the pinned expectations below are re-verified
+// by the test suite (smaller instances exactly, larger ones behind an
+// opt-in environment flag since they take seconds).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+
+#include "puzzle/board.hpp"
+#include "search/problem.hpp"
+
+namespace simdts::puzzle {
+
+struct PuzzleWorkload {
+  const char* name;
+  std::uint64_t seed;   ///< random_walk seed that generates the instance
+  int walk_steps;       ///< random_walk length
+  std::uint64_t paper_w;          ///< the paper's W this stands in for (0: n/a)
+  std::uint64_t serial_total;     ///< measured W over all IDA* iterations
+  std::uint64_t serial_final;     ///< measured W of the final iteration
+  search::Bound solution_length;  ///< measured optimal solution length
+  std::uint64_t goals;            ///< solutions found at the final threshold
+
+  [[nodiscard]] Board board() const { return random_walk(seed, walk_steps); }
+};
+
+/// The four Table 2/3/4 stand-ins, ordered by W like the paper's tables.
+[[nodiscard]] std::span<const PuzzleWorkload> paper_workloads();
+
+/// The W ~ 2.07e6 instance used by Table 5 and Figure 8.
+[[nodiscard]] const PuzzleWorkload& table5_workload();
+
+/// Small instances (W from ~1e3 to ~2e5) for tests and quick runs.
+[[nodiscard]] std::span<const PuzzleWorkload> test_workloads();
+
+}  // namespace simdts::puzzle

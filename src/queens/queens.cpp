@@ -1,0 +1,25 @@
+#include "queens/queens.hpp"
+
+#include <stdexcept>
+
+namespace simdts::queens {
+
+Queens::Queens(int n) : n_(n) {
+  if (n < 1 || n > 16) {
+    throw std::invalid_argument("Queens: board size must be in [1, 16]");
+  }
+  full_ = (n == 32) ? ~0u : ((1u << n) - 1u);
+}
+
+std::uint64_t Queens::known_solutions(int n) {
+  // OEIS A000170.
+  static constexpr std::uint64_t kCounts[] = {
+      0,      1,      0,       0,       2,      10,     4,      40,
+      92,     352,    724,     2680,    14200,  73712,  365596, 2279184};
+  if (n < 1 || n > 15) {
+    throw std::invalid_argument("Queens: known count available for n in [1, 15]");
+  }
+  return kCounts[n];
+}
+
+}  // namespace simdts::queens

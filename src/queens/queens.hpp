@@ -1,0 +1,62 @@
+// N-queens as a TreeProblem.
+//
+// A second, structurally different domain for the generic search API: no
+// heuristic, no cost bound, goal nodes at a fixed depth, and solution
+// *counting* instead of shortest paths.  Used by the examples as the
+// "bring your own problem" walkthrough and by the tests as an independent
+// check that the parallel engine conserves work on a domain it was not
+// tuned for (N=8 must always find exactly 92 solutions, on any scheme and
+// any machine size).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "search/problem.hpp"
+
+namespace simdts::queens {
+
+class Queens {
+ public:
+  struct Node {
+    std::uint32_t cols;   ///< columns already occupied
+    std::uint32_t diag1;  ///< "/" diagonals, pre-shifted to the current row
+    std::uint32_t diag2;  ///< "\" diagonals, pre-shifted
+    std::uint8_t row;     ///< next row to fill
+
+    friend bool operator==(const Node&, const Node&) = default;
+  };
+
+  explicit Queens(int n);
+
+  [[nodiscard]] Node root() const { return Node{0, 0, 0, 0}; }
+
+  void expand(const Node& n, search::Bound /*bound*/, std::vector<Node>& out,
+              search::NextBound& /*next*/) const {
+    if (n.row >= n_) return;
+    std::uint32_t free = full_ & ~(n.cols | n.diag1 | n.diag2);
+    while (free != 0) {
+      const std::uint32_t bit = free & (0u - free);
+      free ^= bit;
+      out.push_back(Node{n.cols | bit, ((n.diag1 | bit) << 1) & full_,
+                         (n.diag2 | bit) >> 1,
+                         static_cast<std::uint8_t>(n.row + 1)});
+    }
+  }
+
+  [[nodiscard]] bool is_goal(const Node& n) const { return n.row == n_; }
+  [[nodiscard]] search::Bound f_value(const Node&) const { return 0; }
+
+  [[nodiscard]] int n() const { return n_; }
+
+  /// The known solution count for board size n (1 <= n <= 15), for tests.
+  [[nodiscard]] static std::uint64_t known_solutions(int n);
+
+ private:
+  int n_;
+  std::uint32_t full_;
+};
+
+static_assert(search::TreeProblem<Queens>);
+
+}  // namespace simdts::queens

@@ -1,0 +1,9 @@
+#include "search/bound.hpp"
+
+namespace simdts::search {
+
+std::string describe(Bound b) {
+  return b == kUnbounded ? std::string("unbounded") : std::to_string(b);
+}
+
+}  // namespace simdts::search

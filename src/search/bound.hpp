@@ -1,0 +1,13 @@
+// Small helpers around iteration bounds.
+#pragma once
+
+#include <string>
+
+#include "search/problem.hpp"
+
+namespace simdts::search {
+
+/// "unbounded" or the decimal value — for reports and logs.
+[[nodiscard]] std::string describe(Bound b);
+
+}  // namespace simdts::search

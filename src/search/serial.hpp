@@ -1,0 +1,165 @@
+// Serial depth-first search and serial IDA*.
+//
+// These are the "best sequential algorithm" reference implementations: they
+// define the problem size W (number of nodes expanded serially, Section 3.1)
+// against which every parallel run's efficiency is computed, and they double
+// as the ground truth for the conservation tests (a parallel run must expand
+// exactly the same number of nodes, since the parallel formulation searches
+// all solutions up to the bound and hence has no speedup anomalies).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "search/problem.hpp"
+#include "search/work_stack.hpp"
+
+namespace simdts::search {
+
+/// Result of one bounded depth-first search (one IDA* iteration).
+struct SerialIterationResult {
+  std::uint64_t nodes_expanded = 0;
+  std::uint64_t goals_found = 0;
+  Bound next_bound = kUnbounded;  ///< threshold for the next iteration
+};
+
+/// Exhaustive bounded DFS from `root`.  "Nodes expanded" counts every pop —
+/// a goal node occupies a node-expansion cycle even though its successors
+/// are not generated; this convention matches the parallel engine's
+/// accounting exactly, which is what makes the conservation tests
+/// (parallel expansions == serial expansions) meaningful.
+template <TreeProblem P>
+SerialIterationResult serial_dfs(const P& problem,
+                                 const typename P::Node& root, Bound bound) {
+  SerialIterationResult result;
+  NextBound next;
+  WorkStack<typename P::Node> stack;
+  stack.push(root);
+  std::vector<typename P::Node> children;
+  while (!stack.empty()) {
+    const auto node = stack.pop();
+    ++result.nodes_expanded;
+    if (problem.is_goal(node)) {
+      ++result.goals_found;
+      continue;
+    }
+    children.clear();
+    problem.expand(node, bound, children, next);
+    for (auto& c : children) {
+      stack.push(std::move(c));
+    }
+  }
+  if (next.has_value()) result.next_bound = next.value();
+  return result;
+}
+
+/// Bounded DFS that stops as soon as the first goal is popped (the serial
+/// reference for the speedup-anomaly experiments).
+template <TreeProblem P>
+SerialIterationResult serial_first_solution(const P& problem,
+                                            const typename P::Node& root,
+                                            Bound bound) {
+  SerialIterationResult result;
+  NextBound next;
+  WorkStack<typename P::Node> stack;
+  stack.push(root);
+  std::vector<typename P::Node> children;
+  while (!stack.empty()) {
+    const auto node = stack.pop();
+    ++result.nodes_expanded;
+    if (problem.is_goal(node)) {
+      result.goals_found = 1;
+      break;
+    }
+    children.clear();
+    problem.expand(node, bound, children, next);
+    for (auto& c : children) {
+      stack.push(std::move(c));
+    }
+  }
+  if (next.has_value()) result.next_bound = next.value();
+  return result;
+}
+
+/// Serial depth-first branch and bound: exhausts the space, tightening the
+/// bound to (incumbent - 1) the moment a better goal is popped.  Goals
+/// report their solution cost via f_value().  Stale nodes (admitted under a
+/// looser bound) are discarded at pop without expansion, which still counts
+/// as a node visit.
+struct SerialBnbResult {
+  Bound best = kUnbounded;
+  std::uint64_t nodes_expanded = 0;
+  std::uint64_t goals_found = 0;
+};
+
+template <TreeProblem P>
+SerialBnbResult serial_branch_and_bound(const P& problem,
+                                        Bound initial_bound = kUnbounded) {
+  SerialBnbResult result;
+  Bound bound = initial_bound;
+  NextBound next;
+  WorkStack<typename P::Node> stack;
+  stack.push(problem.root());
+  std::vector<typename P::Node> children;
+  while (!stack.empty()) {
+    const auto node = stack.pop();
+    ++result.nodes_expanded;
+    if (problem.is_goal(node)) {
+      const Bound f = problem.f_value(node);
+      if (f < result.best) {
+        result.best = f;
+        ++result.goals_found;
+        if (f != kUnbounded && f - 1 < bound) bound = f - 1;
+      }
+      continue;
+    }
+    if (problem.f_value(node) > bound) continue;  // stale under the new bound
+    children.clear();
+    problem.expand(node, bound, children, next);
+    for (auto& c : children) {
+      stack.push(std::move(c));
+    }
+  }
+  return result;
+}
+
+/// Full serial IDA* run.
+struct SerialIdaResult {
+  Bound solution_bound = kUnbounded;  ///< threshold of the goal iteration
+  std::uint64_t goals_found = 0;      ///< goals at that threshold
+  std::uint64_t total_expanded = 0;   ///< W across all iterations
+  std::uint64_t final_expanded = 0;   ///< W of the final iteration alone
+  std::vector<SerialIterationResult> iterations;
+};
+
+/// Runs IDA*: repeats bounded DFS with increasing thresholds (starting at the
+/// root's f-value) until an iteration finds a goal; that iteration still runs
+/// to exhaustion, finding *all* solutions at the threshold — the paper's
+/// setup for anomaly-free comparisons.  `max_expanded`, if non-zero, aborts
+/// the run once the total exceeds it (solution_bound stays kUnbounded).
+template <TreeProblem P>
+SerialIdaResult serial_ida(const P& problem, std::uint64_t max_expanded = 0) {
+  SerialIdaResult result;
+  const auto root = problem.root();
+  Bound bound = problem.f_value(root);
+  for (;;) {
+    const SerialIterationResult iter = serial_dfs(problem, root, bound);
+    result.iterations.push_back(iter);
+    result.total_expanded += iter.nodes_expanded;
+    result.final_expanded = iter.nodes_expanded;
+    if (iter.goals_found > 0) {
+      result.solution_bound = bound;
+      result.goals_found = iter.goals_found;
+      return result;
+    }
+    if (iter.next_bound == kUnbounded) {
+      return result;  // finite space, no solution
+    }
+    if (max_expanded != 0 && result.total_expanded > max_expanded) {
+      return result;  // budget exceeded
+    }
+    bound = iter.next_bound;
+  }
+}
+
+}  // namespace simdts::search

@@ -1,0 +1,17 @@
+#include "search/splitter.hpp"
+
+namespace simdts::search {
+
+const char* to_string(SplitStrategy s) {
+  switch (s) {
+    case SplitStrategy::kBottomNode:
+      return "bottom-node";
+    case SplitStrategy::kHalf:
+      return "half";
+    case SplitStrategy::kTopNode:
+      return "top-node";
+  }
+  return "?";
+}
+
+}  // namespace simdts::search

@@ -1,0 +1,81 @@
+// Work-splitting strategies (the paper's "alpha-splitting mechanism").
+//
+// When a busy processor donates work, its stack is split into two non-empty
+// parts.  The quality of the split — how close to half of the remaining
+// subtree the donated part represents — drives the number of load-balancing
+// phases needed (Appendix A: at most V(P) * log_{1/(1-alpha)} W transfers).
+//
+// Strategies:
+//   kBottomNode  donate the single node at the bottom of the stack (the
+//                shallowest alternative, hence the largest subtree).  This is
+//                what the paper used for the 15-puzzle and "appears to
+//                provide a reasonable alpha-splitting mechanism".
+//   kHalf        donate every other node (stratified half split, the classic
+//                MIMD stack split of Rao & Kumar); donates nodes from all
+//                depths.
+//   kTopNode     donate the single node at the top (the deepest alternative,
+//                i.e. the smallest subtree) — a deliberately poor splitter
+//                used by the sensitivity ablation.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "search/work_stack.hpp"
+
+namespace simdts::search {
+
+enum class SplitStrategy : std::uint8_t {
+  kBottomNode,
+  kHalf,
+  kTopNode,
+};
+
+/// Name for reports.
+[[nodiscard]] const char* to_string(SplitStrategy s);
+
+/// Splits `donor` in place, returning the donated nodes in bottom-to-top
+/// order.  Preconditions: donor.splittable().  Postconditions: neither part
+/// is empty, the parts are disjoint, and their union is the original stack.
+template <typename Node>
+[[nodiscard]] std::vector<Node> split(WorkStack<Node>& donor,
+                                      SplitStrategy strategy) {
+  std::vector<Node> donated;
+  auto& raw = donor.raw();
+  switch (strategy) {
+    case SplitStrategy::kBottomNode:
+      donated.push_back(donor.take_bottom());
+      break;
+    case SplitStrategy::kTopNode:
+      donated.push_back(donor.pop());
+      break;
+    case SplitStrategy::kHalf: {
+      // Keep indices 1, 3, 5, ...; donate 0, 2, 4, ...  Donating from every
+      // depth keeps both halves representative of the whole stack.
+      std::deque<Node> kept;
+      donated.reserve((raw.size() + 1) / 2);
+      for (std::size_t i = 0; i < raw.size(); ++i) {
+        if (i % 2 == 0) {
+          donated.push_back(std::move(raw[i]));
+        } else {
+          kept.push_back(std::move(raw[i]));
+        }
+      }
+      raw = std::move(kept);
+      break;
+    }
+  }
+  return donated;
+}
+
+/// Appends donated nodes to `receiver`, preserving bottom-to-top order so
+/// that depth-first order is maintained on the receiving side.
+template <typename Node>
+void receive(WorkStack<Node>& receiver, std::vector<Node>&& donated) {
+  for (auto& n : donated) {
+    receiver.push(std::move(n));
+  }
+  donated.clear();
+}
+
+}  // namespace simdts::search

@@ -1,0 +1,60 @@
+// The per-PE depth-first work stack.
+//
+// Each processor's share of the search space is a stack of nodes, where each
+// node stands for its whole unexplored subtree.  Depth-first order means
+// expansion pops from the *top* (back); the entries towards the *bottom*
+// (front) are the shallowest untried alternatives and therefore represent
+// the largest subtrees — which is why the paper's splitter donates the node
+// at the bottom of the stack.
+//
+// A processor is "busy" (splittable) when it holds at least two nodes: it can
+// split its work into two non-empty parts, one to keep and one to give away
+// (Section 2).
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <utility>
+
+namespace simdts::search {
+
+template <typename Node>
+class WorkStack {
+ public:
+  [[nodiscard]] bool empty() const noexcept { return nodes_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return nodes_.size(); }
+
+  /// True when the stack can be split into two non-empty parts — the paper's
+  /// definition of a busy processor.
+  [[nodiscard]] bool splittable() const noexcept { return nodes_.size() >= 2; }
+
+  void push(Node n) { nodes_.push_back(std::move(n)); }
+
+  /// Pops the deepest node (LIFO — depth-first order).
+  Node pop() {
+    Node n = std::move(nodes_.back());
+    nodes_.pop_back();
+    return n;
+  }
+
+  /// Removes and returns the shallowest node (bottom of the stack).
+  Node take_bottom() {
+    Node n = std::move(nodes_.front());
+    nodes_.pop_front();
+    return n;
+  }
+
+  [[nodiscard]] const Node& bottom() const { return nodes_.front(); }
+  [[nodiscard]] const Node& top() const { return nodes_.back(); }
+
+  void clear() noexcept { nodes_.clear(); }
+
+  /// Direct access for splitters and tests.
+  [[nodiscard]] std::deque<Node>& raw() noexcept { return nodes_; }
+  [[nodiscard]] const std::deque<Node>& raw() const noexcept { return nodes_; }
+
+ private:
+  std::deque<Node> nodes_;
+};
+
+}  // namespace simdts::search

@@ -1,0 +1,54 @@
+#include "simd/cost_model.hpp"
+
+#include <cmath>
+
+namespace simdts::simd {
+
+namespace {
+
+double raw_scale(Topology t, std::uint32_t p) {
+  const double pd = static_cast<double>(p < 2 ? 2 : p);
+  switch (t) {
+    case Topology::kCm2Constant:
+      return 1.0;
+    case Topology::kHypercube: {
+      const double lg = std::log2(pd);
+      return lg * lg;
+    }
+    case Topology::kMesh:
+      return std::sqrt(pd);
+  }
+  return 1.0;
+}
+
+}  // namespace
+
+double CostModel::topology_scale(std::uint32_t p) const {
+  return raw_scale(topology, p) / raw_scale(topology, kNormalizeP);
+}
+
+double CostModel::lb_round_cost(std::uint32_t p) const {
+  return t_lb * lb_cost_multiplier * topology_scale(p);
+}
+
+CostModel cm2_cost_model() { return CostModel{}; }
+
+CostModel fast_cpu_cost_model(double ratio) {
+  CostModel cm;
+  cm.lb_cost_multiplier = ratio;
+  return cm;
+}
+
+CostModel hypercube_cost_model() {
+  CostModel cm;
+  cm.topology = Topology::kHypercube;
+  return cm;
+}
+
+CostModel mesh_cost_model() {
+  CostModel cm;
+  cm.topology = Topology::kMesh;
+  return cm;
+}
+
+}  // namespace simdts::simd

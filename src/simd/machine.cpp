@@ -1,0 +1,51 @@
+#include "simd/machine.hpp"
+
+#include <stdexcept>
+
+namespace simdts::simd {
+
+MachineClock& MachineClock::operator+=(const MachineClock& o) {
+  elapsed += o.elapsed;
+  calc_time += o.calc_time;
+  idle_time += o.idle_time;
+  lb_time += o.lb_time;
+  expand_cycles += o.expand_cycles;
+  lb_rounds += o.lb_rounds;
+  nodes_expanded += o.nodes_expanded;
+  return *this;
+}
+
+Machine::Machine(std::uint32_t p, CostModel cost, ThreadPool* pool)
+    : p_(p), cost_(cost), pool_(pool) {
+  if (p_ == 0) {
+    throw std::invalid_argument("Machine: need at least one PE");
+  }
+}
+
+void Machine::charge_expand_cycle(std::uint32_t working) {
+  if (working > p_) {
+    throw std::invalid_argument("Machine: more working PEs than PEs");
+  }
+  const double t = cost_.t_expand;
+  clock_.elapsed += t;
+  clock_.calc_time += static_cast<double>(working) * t;
+  clock_.idle_time += static_cast<double>(p_ - working) * t;
+  clock_.expand_cycles += 1;
+  clock_.nodes_expanded += working;
+}
+
+void Machine::charge_lb_round() {
+  const double t = cost_.lb_round_cost(p_);
+  clock_.elapsed += t;
+  clock_.lb_time += static_cast<double>(p_) * t;
+  clock_.lb_rounds += 1;
+}
+
+void Machine::charge_neighbor_round() {
+  const double t = cost_.neighbor_cost();
+  clock_.elapsed += t;
+  clock_.lb_time += static_cast<double>(p_) * t;
+  clock_.lb_rounds += 1;
+}
+
+}  // namespace simdts::simd

@@ -1,0 +1,41 @@
+#include "simd/rendezvous.hpp"
+
+#include <algorithm>
+
+namespace simdts::simd {
+
+std::vector<PeIndex> ranked(std::span<const std::uint8_t> flags,
+                            PeIndex start_after) {
+  const std::size_t p = flags.size();
+  std::vector<PeIndex> out;
+  if (p == 0) return out;
+  // The rotated walk visits start_after+1, ..., P-1, 0, ..., start_after;
+  // on the machine this is one sum-scan over a rotated flag plane, here a
+  // single pass.
+  const std::size_t first =
+      (start_after == kNoPe) ? 0
+                             : (static_cast<std::size_t>(start_after) + 1) % p;
+  for (std::size_t step = 0; step < p; ++step) {
+    const std::size_t i = (first + step) % p;
+    if (flags[i] != 0) {
+      out.push_back(static_cast<PeIndex>(i));
+    }
+  }
+  return out;
+}
+
+std::vector<Pair> rendezvous(std::span<const std::uint8_t> donor_flags,
+                             std::span<const std::uint8_t> receiver_flags,
+                             PeIndex start_after) {
+  const std::vector<PeIndex> donors = ranked(donor_flags, start_after);
+  const std::vector<PeIndex> receivers = ranked(receiver_flags);
+  const std::size_t n = std::min(donors.size(), receivers.size());
+  std::vector<Pair> pairs;
+  pairs.reserve(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    pairs.push_back(Pair{donors[k], receivers[k]});
+  }
+  return pairs;
+}
+
+}  // namespace simdts::simd

@@ -1,0 +1,47 @@
+// Rendezvous allocation: pairing the k-th element of one set of PEs with the
+// k-th element of another (Hillis, "The Connection Machine").
+//
+// Both the paper's matching schemes reduce to this primitive.  nGP pairs the
+// k-th busy PE (in PE-index order) with the k-th idle PE.  GP pairs the k-th
+// busy PE *in an enumeration that starts just after a global pointer and
+// wraps around* with the k-th idle PE — the rotation is the whole difference
+// between the two schemes.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace simdts::simd {
+
+/// Index of a processing element in the machine.
+using PeIndex = std::uint32_t;
+inline constexpr PeIndex kNoPe = static_cast<PeIndex>(-1);
+
+/// One matched (donor, receiver) pair produced by a rendezvous.
+struct Pair {
+  PeIndex donor;
+  PeIndex receiver;
+  friend bool operator==(const Pair&, const Pair&) = default;
+};
+
+/// Pairs donors with receivers by rank.  Donor ranks are assigned in PE-index
+/// order starting at the first donor *strictly after* `start_after` and
+/// wrapping around the machine; receiver ranks are assigned in plain PE-index
+/// order.  Passing `start_after == kNoPe` yields the unrotated (nGP)
+/// enumeration.  Exactly min(#donors, #receivers) pairs are produced, pair k
+/// joining donor-rank k with receiver-rank k (the paper's one-on-one
+/// matching: when idle processors outnumber busy ones only the first A idle
+/// processors receive work, and vice versa).
+[[nodiscard]] std::vector<Pair> rendezvous(
+    std::span<const std::uint8_t> donor_flags,
+    std::span<const std::uint8_t> receiver_flags, PeIndex start_after = kNoPe);
+
+/// The set PEs of `flags` in enumeration order: plain PE-index order, or —
+/// when `start_after != kNoPe` — starting at the first set PE strictly after
+/// `start_after` and wrapping around.  rendezvous() is rank-aligned zipping
+/// of two such enumerations.
+[[nodiscard]] std::vector<PeIndex> ranked(std::span<const std::uint8_t> flags,
+                                          PeIndex start_after = kNoPe);
+
+}  // namespace simdts::simd

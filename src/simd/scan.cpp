@@ -1,0 +1,24 @@
+#include "simd/scan.hpp"
+
+namespace simdts::simd {
+
+std::uint32_t enumerate(std::span<const std::uint8_t> flags,
+                        std::span<std::uint32_t> ranks) {
+  std::uint32_t next = 0;
+  for (std::size_t i = 0; i < flags.size(); ++i) {
+    if (flags[i] != 0) {
+      ranks[i] = next++;
+    }
+  }
+  return next;
+}
+
+std::uint32_t count_set(std::span<const std::uint8_t> flags) {
+  std::uint32_t n = 0;
+  for (const std::uint8_t f : flags) {
+    n += (f != 0);
+  }
+  return n;
+}
+
+}  // namespace simdts::simd

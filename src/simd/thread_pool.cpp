@@ -1,0 +1,86 @@
+#include "simd/thread_pool.hpp"
+
+#include <algorithm>
+#include <exception>
+
+namespace simdts::simd {
+
+ThreadPool::ThreadPool(unsigned threads) {
+  if (threads == 0) {
+    threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+  lanes_ = threads;
+  errors_.resize(lanes_);
+  if (lanes_ > 1) {
+    workers_.reserve(lanes_);
+    for (unsigned lane = 0; lane < lanes_; ++lane) {
+      workers_.emplace_back([this, lane] { worker(lane); });
+    }
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock(mu_);
+    stop_ = true;
+  }
+  cv_start_.notify_all();
+  for (auto& w : workers_) {
+    w.join();
+  }
+}
+
+void ThreadPool::run_lane(unsigned lane) {
+  const std::size_t chunk = (n_ + lanes_ - 1) / lanes_;
+  const std::size_t begin = std::min(n_, lane * chunk);
+  const std::size_t end = std::min(n_, begin + chunk);
+  if (begin < end) {
+    try {
+      (*body_)(begin, end);
+    } catch (...) {
+      errors_[lane] = std::current_exception();
+    }
+  }
+}
+
+void ThreadPool::worker(unsigned lane) {
+  std::uint64_t seen = 0;
+  for (;;) {
+    {
+      std::unique_lock lock(mu_);
+      cv_start_.wait(lock, [&] { return stop_ || generation_ != seen; });
+      if (stop_) return;
+      seen = generation_;
+    }
+    run_lane(lane);
+    {
+      std::lock_guard lock(mu_);
+      if (--pending_ == 0) cv_done_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::parallel_for(
+    std::size_t n, const std::function<void(std::size_t, std::size_t)>& body) {
+  if (n == 0) return;
+  if (lanes_ == 1) {
+    body(0, n);
+    return;
+  }
+  {
+    std::unique_lock lock(mu_);
+    n_ = n;
+    body_ = &body;
+    std::fill(errors_.begin(), errors_.end(), nullptr);
+    pending_ = lanes_;
+    ++generation_;
+    cv_start_.notify_all();
+    cv_done_.wait(lock, [&] { return pending_ == 0; });
+    body_ = nullptr;
+  }
+  for (auto& err : errors_) {
+    if (err) std::rethrow_exception(err);
+  }
+}
+
+}  // namespace simdts::simd

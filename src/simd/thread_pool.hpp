@@ -1,0 +1,65 @@
+// A small barrier-synchronised thread pool used to execute one lock-step PE
+// cycle across host threads.
+//
+// The pool mirrors the data-parallel structure of the emulated machine: a
+// cycle is a parallel_for over the PE index range, each worker owns a
+// contiguous chunk of PEs, and the call returns only after every worker has
+// finished (a barrier, exactly like the SIMD machine's implicit global
+// synchronisation).  Because each PE's state is private to its index, the
+// emulation is bit-deterministic regardless of the number of host threads.
+//
+// On a single-core host (or with threads == 1) the pool degrades to an inline
+// loop with zero synchronisation overhead.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace simdts::simd {
+
+class ThreadPool {
+ public:
+  /// Creates a pool with `threads` workers.  `threads == 0` picks the host's
+  /// hardware concurrency; `threads == 1` means "run inline, no workers".
+  explicit ThreadPool(unsigned threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Number of lanes work is divided into (>= 1).
+  [[nodiscard]] unsigned size() const noexcept { return lanes_; }
+
+  /// Runs body(begin, end) over a partition of [0, n) into size() contiguous
+  /// chunks, one per lane, and blocks until all chunks are done.  The body
+  /// must not touch state shared across chunks without its own
+  /// synchronisation.  Exceptions thrown by the body are rethrown (the first
+  /// one encountered, by lane order) after all lanes finish.
+  void parallel_for(std::size_t n,
+                    const std::function<void(std::size_t, std::size_t)>& body);
+
+ private:
+  void worker(unsigned lane);
+  void run_lane(unsigned lane);
+
+  unsigned lanes_ = 1;
+  std::vector<std::thread> workers_;
+
+  std::mutex mu_;
+  std::condition_variable cv_start_;
+  std::condition_variable cv_done_;
+  std::uint64_t generation_ = 0;
+  unsigned pending_ = 0;
+  bool stop_ = false;
+
+  // Per-dispatch state (valid while pending_ > 0).
+  std::size_t n_ = 0;
+  const std::function<void(std::size_t, std::size_t)>* body_ = nullptr;
+  std::vector<std::exception_ptr> errors_;
+};
+
+}  // namespace simdts::simd

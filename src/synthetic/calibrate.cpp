@@ -1,0 +1,51 @@
+#include "synthetic/calibrate.hpp"
+
+#include <cmath>
+#include <vector>
+
+namespace simdts::synthetic {
+
+std::uint64_t measure(const Params& params, std::uint64_t budget) {
+  const Tree tree(params);
+  std::vector<Tree::Node> stack;
+  std::vector<Tree::Node> children;
+  search::NextBound next;
+  stack.push_back(tree.root());
+  std::uint64_t expanded = 0;
+  while (!stack.empty()) {
+    const Tree::Node n = stack.back();
+    stack.pop_back();
+    ++expanded;
+    if (budget != 0 && expanded > budget) return budget + 1;
+    children.clear();
+    tree.expand(n, search::kUnbounded, children, next);
+    stack.insert(stack.end(), children.begin(), children.end());
+  }
+  return expanded;
+}
+
+Calibration calibrate_to(std::uint64_t target, Params shape,
+                         std::uint64_t seed_base, std::uint32_t attempts) {
+  Calibration best;
+  double best_err = std::numeric_limits<double>::infinity();
+  const double log_target = std::log(static_cast<double>(target));
+  for (std::uint32_t i = 0; i < attempts; ++i) {
+    Params p = shape;
+    p.seed = seed_base + i;
+    // Reject oversized trees outright: the supercritical branching makes
+    // tree sizes heavy-tailed, so a clipped candidate may be orders of
+    // magnitude past the budget — never select one.
+    const std::uint64_t budget = target * 4;
+    const std::uint64_t w = measure(p, budget);
+    if (w == 0 || w > budget) continue;
+    const double err =
+        std::abs(std::log(static_cast<double>(w)) - log_target);
+    if (err < best_err) {
+      best_err = err;
+      best = Calibration{p, w};
+    }
+  }
+  return best;
+}
+
+}  // namespace simdts::synthetic

@@ -1,0 +1,35 @@
+// Calibration of synthetic trees to target sizes.
+//
+// The tree size W for given Params is deterministic but not available in
+// closed form; calibration measures it by serial DFS.  Because W is very
+// sensitive to the seed (the supercritical branching makes it heavy-tailed),
+// the calibrator scans seeds at a fixed shape and keeps the seed whose W is
+// closest to the target.  Results are pinned in synthetic/workloads.cpp.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "synthetic/tree.hpp"
+
+namespace simdts::synthetic {
+
+/// Serial tree size (nodes expanded by exhaustive DFS).  `budget`, if
+/// non-zero, aborts once the count exceeds it and returns budget + 1 —
+/// oversized candidates are rejected cheaply during calibration.
+[[nodiscard]] std::uint64_t measure(const Params& params,
+                                    std::uint64_t budget = 0);
+
+struct Calibration {
+  Params params;
+  std::uint64_t w = 0;  ///< measured size
+};
+
+/// Scans `attempts` seeds (seed_base, seed_base+1, ...) with the given shape
+/// and returns the candidate whose measured W is closest to `target` in log
+/// space.
+[[nodiscard]] Calibration calibrate_to(std::uint64_t target, Params shape,
+                                       std::uint64_t seed_base,
+                                       std::uint32_t attempts);
+
+}  // namespace simdts::synthetic

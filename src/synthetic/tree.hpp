@@ -1,0 +1,109 @@
+// Deterministic synthetic unstructured trees.
+//
+// The isoefficiency experiments (Figures 4 and 7) need a dense grid of
+// problem sizes W far beyond what a handful of 15-puzzle instances provides.
+// This domain generates irregular trees whose entire shape is a pure function
+// of a 64-bit seed: each node's child set is decided by hashing (node id,
+// child slot), so any processor can expand any node with no shared state —
+// the same property that makes the 15-puzzle SIMD-friendly.
+//
+// Shape: every node has up to `max_children` potential children; child i
+// exists with probability fertility * climate, where the climate is a value
+// in [0.5, 1.5] that drifts along each root-to-leaf path (children inherit a
+// hash-perturbed copy of the parent's climate).  The drift correlates
+// fertility within subtrees, producing persistent bushy and sparse regions —
+// the "highly irregular" trees the paper targets — rather than noise that
+// averages out.  Growth is supercritical on average (mean branching > 1) and
+// capped by `max_depth`, so W is controlled by depth and seed; see
+// synthetic/calibrate.hpp.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "search/problem.hpp"
+
+namespace simdts::synthetic {
+
+struct Params {
+  std::uint64_t seed = 1;
+  std::uint32_t max_children = 4;
+  /// Base per-child existence probability (mean branching factor is
+  /// max_children * fertility at neutral climate).
+  double fertility = 0.30;
+  std::uint16_t max_depth = 40;
+
+  friend bool operator==(const Params&, const Params&) = default;
+};
+
+class Tree {
+ public:
+  struct Node {
+    std::uint64_t id;
+    std::uint16_t depth;
+    /// Climate state; fertility multiplier is 0.5 + climate / 65536.
+    std::uint16_t climate;
+
+    friend bool operator==(const Node&, const Node&) = default;
+  };
+
+  explicit Tree(Params params) : params_(params) {}
+
+  [[nodiscard]] Node root() const {
+    return Node{hash2(params_.seed, 0x526F6F74), 0, 1u << 15};
+  }
+
+  /// Exhaustive search: the bound is ignored and `next` never set (a single
+  /// "iteration" visits the whole tree).
+  void expand(const Node& n, search::Bound /*bound*/, std::vector<Node>& out,
+              search::NextBound& /*next*/) const {
+    if (n.depth >= params_.max_depth) return;
+    const double p =
+        params_.fertility * (0.5 + static_cast<double>(n.climate) * 0x1.0p-16);
+    const auto depth = static_cast<std::uint16_t>(n.depth + 1);
+    for (std::uint32_t i = 0; i < params_.max_children; ++i) {
+      const std::uint64_t h = hash2(n.id, 0x4348494C44ULL + i);
+      if (normalized(h) < p) {
+        out.push_back(Node{h, depth, drift_climate(n.climate, h)});
+      }
+    }
+  }
+
+  [[nodiscard]] bool is_goal(const Node&) const { return false; }
+  [[nodiscard]] search::Bound f_value(const Node&) const { return 0; }
+
+  [[nodiscard]] const Params& params() const { return params_; }
+
+  /// Stateless 64-bit mix of (a, b) — the only source of tree shape.
+  [[nodiscard]] static std::uint64_t hash2(std::uint64_t a, std::uint64_t b) {
+    std::uint64_t x = a * 0x9E3779B97F4A7C15ULL + b + 0x2545F4914F6CDD1DULL;
+    x ^= x >> 30;
+    x *= 0xBF58476D1CE4E5B9ULL;
+    x ^= x >> 27;
+    x *= 0x94D049BB133111EBULL;
+    x ^= x >> 31;
+    return x;
+  }
+
+  /// Maps a hash to [0, 1).
+  [[nodiscard]] static double normalized(std::uint64_t h) {
+    return static_cast<double>(h >> 11) * 0x1.0p-53;
+  }
+
+ private:
+  /// Random-walk step of the climate, clamped to the uint16 range.
+  [[nodiscard]] static std::uint16_t drift_climate(std::uint16_t climate,
+                                                   std::uint64_t h) {
+    const auto delta = static_cast<std::int32_t>((h >> 40) % 8192) - 4096;
+    std::int32_t next = static_cast<std::int32_t>(climate) + delta;
+    if (next < 0) next = 0;
+    if (next > 0xFFFF) next = 0xFFFF;
+    return static_cast<std::uint16_t>(next);
+  }
+
+  Params params_;
+};
+
+static_assert(search::TreeProblem<Tree>);
+
+}  // namespace simdts::synthetic

@@ -1,0 +1,34 @@
+#include "synthetic/workloads.hpp"
+
+namespace simdts::synthetic {
+
+namespace {
+
+// PINNED BY CALIBRATION (tools/calibrate_synthetic and tools/scan_synthetic):
+// the W column is the measured exhaustive-DFS size, re-verified by the test
+// suite for the smaller trees.  Sizes span ~1e3 to ~4e7, the range the
+// isoefficiency grids need for machines up to P = 8192.
+constexpr SyntheticWorkload kIso[] = {
+    {"syn-941", Params{9013, 4, 0.395, 14}, 941},
+    {"syn-13k", Params{9011, 4, 0.400, 18}, 13107},
+    {"syn-96k", Params{9013, 4, 0.388, 24}, 95585},
+    {"syn-382k", Params{9013, 4, 0.380, 28}, 382449},
+    {"syn-2.4M", Params{9030, 4, 0.380, 32}, 2440212},
+    {"syn-7.6M", Params{7108, 4, 0.380, 30}, 7592385},
+    {"syn-23M", Params{9030, 4, 0.375, 36}, 23169294},
+    {"syn-41M", Params{7201, 4, 0.375, 34}, 41269849},
+};
+
+constexpr SyntheticWorkload kTest[] = {
+    {"syn-941", Params{9013, 4, 0.395, 14}, 941},
+    {"syn-13k", Params{9011, 4, 0.400, 18}, 13107},
+    {"syn-96k", Params{9013, 4, 0.388, 24}, 95585},
+};
+
+}  // namespace
+
+std::span<const SyntheticWorkload> iso_workloads() { return kIso; }
+
+std::span<const SyntheticWorkload> test_workloads() { return kTest; }
+
+}  // namespace simdts::synthetic

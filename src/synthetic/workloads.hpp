@@ -1,0 +1,27 @@
+// Pinned synthetic workloads for the isoefficiency experiments.
+//
+// The Figure 4 / Figure 7 grids need trees with sizes spanning roughly 1e5 to
+// 1e8; these were calibrated once with tools/calibrate_synthetic and are
+// re-verified (the smaller ones) by the test suite.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "synthetic/tree.hpp"
+
+namespace simdts::synthetic {
+
+struct SyntheticWorkload {
+  const char* name;
+  Params params;
+  std::uint64_t w;  ///< measured serial tree size
+};
+
+/// Ladder of tree sizes for the isoefficiency grids, ascending in W.
+[[nodiscard]] std::span<const SyntheticWorkload> iso_workloads();
+
+/// Small trees for tests (W from ~1e3 to ~1e5).
+[[nodiscard]] std::span<const SyntheticWorkload> test_workloads();
+
+}  // namespace simdts::synthetic

@@ -1,0 +1,92 @@
+#include "tsp/tsp.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+#include <stdexcept>
+
+namespace simdts::tsp {
+
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9E3779B97F4A7C15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+Tsp::Tsp(int n, std::uint64_t seed, std::int32_t max_distance) : n_(n) {
+  if (n < 1 || n > kMaxCities) {
+    throw std::invalid_argument("Tsp: city count must be in [1, 16]");
+  }
+  if (max_distance < 1) {
+    throw std::invalid_argument("Tsp: max_distance must be positive");
+  }
+  std::uint64_t state = seed ^ 0xC2B2AE3D27D4EB4FULL;
+  for (int a = 0; a < n_; ++a) {
+    for (int b = a + 1; b < n_; ++b) {
+      const auto d = static_cast<std::int32_t>(
+          1 + splitmix64(state) % static_cast<std::uint64_t>(max_distance));
+      dist_[static_cast<std::size_t>(a) * kMaxCities + b] = d;
+      dist_[static_cast<std::size_t>(b) * kMaxCities + a] = d;
+    }
+  }
+  finish_setup();
+}
+
+Tsp::Tsp(int n, const std::vector<std::int32_t>& distances) : n_(n) {
+  if (n < 1 || n > kMaxCities) {
+    throw std::invalid_argument("Tsp: city count must be in [1, 16]");
+  }
+  if (distances.size() != static_cast<std::size_t>(n) * n) {
+    throw std::invalid_argument("Tsp: distance matrix must be n x n");
+  }
+  for (int a = 0; a < n_; ++a) {
+    for (int b = 0; b < n_; ++b) {
+      const std::int32_t d = distances[static_cast<std::size_t>(a) * n + b];
+      if (a == b && d != 0) {
+        throw std::invalid_argument("Tsp: diagonal must be zero");
+      }
+      if (d != distances[static_cast<std::size_t>(b) * n + a]) {
+        throw std::invalid_argument("Tsp: matrix must be symmetric");
+      }
+      dist_[static_cast<std::size_t>(a) * kMaxCities + b] = d;
+    }
+  }
+  finish_setup();
+}
+
+void Tsp::finish_setup() {
+  for (int a = 0; a < n_; ++a) {
+    std::int32_t best = std::numeric_limits<std::int32_t>::max();
+    for (int b = 0; b < n_; ++b) {
+      if (b != a) best = std::min(best, distance(a, b));
+    }
+    min_edge_[static_cast<std::size_t>(a)] = n_ > 1 ? best : 0;
+  }
+}
+
+std::int32_t Tsp::brute_force_optimal() const {
+  if (n_ > 12) {
+    throw std::invalid_argument("Tsp: brute force capped at 12 cities");
+  }
+  if (n_ == 1) return 0;
+  std::vector<int> perm(static_cast<std::size_t>(n_) - 1);
+  std::iota(perm.begin(), perm.end(), 1);
+  std::int32_t best = std::numeric_limits<std::int32_t>::max();
+  do {
+    std::int32_t cost = distance(0, perm.front());
+    for (std::size_t i = 0; i + 1 < perm.size(); ++i) {
+      cost += distance(perm[i], perm[i + 1]);
+    }
+    cost += distance(perm.back(), 0);
+    best = std::min(best, cost);
+  } while (std::next_permutation(perm.begin(), perm.end()));
+  return best;
+}
+
+}  // namespace simdts::tsp

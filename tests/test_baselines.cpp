@@ -1,0 +1,128 @@
+#include "baselines/baselines.hpp"
+
+#include <gtest/gtest.h>
+
+#include "lb/engine.hpp"
+#include "puzzle/fifteen.hpp"
+#include "puzzle/workloads.hpp"
+#include "search/serial.hpp"
+
+namespace simdts::baselines {
+namespace {
+
+using lb::Engine;
+using lb::RunStats;
+using puzzle::FifteenPuzzle;
+
+std::vector<lb::SchemeConfig> all_baselines() {
+  return {fess(), fegs(), frye_give_one(0.75), frye_neighbor()};
+}
+
+TEST(Baselines, ConfigurationsMatchTheirPapers) {
+  EXPECT_EQ(fess().trigger, lb::TriggerKind::kAnyIdle);
+  EXPECT_FALSE(fess().multiple_transfers);
+  EXPECT_EQ(fegs().trigger, lb::TriggerKind::kAnyIdle);
+  EXPECT_TRUE(fegs().multiple_transfers);
+  EXPECT_EQ(frye_give_one(0.8).transfer,
+            lb::TransferPolicy::kGiveOneNodeEach);
+  EXPECT_DOUBLE_EQ(frye_give_one(0.8).static_x, 0.8);
+  EXPECT_EQ(frye_neighbor().match, lb::MatchScheme::kNeighbor);
+  EXPECT_EQ(frye_neighbor().trigger, lb::TriggerKind::kEveryCycle);
+}
+
+TEST(Baselines, AllConserveWork) {
+  const auto& wl = puzzle::test_workloads()[1];  // t-4k
+  const FifteenPuzzle problem(wl.board());
+  const auto serial = search::serial_ida(problem);
+  for (const auto& cfg : all_baselines()) {
+    simd::Machine machine(64, simd::cm2_cost_model());
+    Engine<FifteenPuzzle> engine(problem, machine, cfg);
+    const RunStats rs = engine.run();
+    EXPECT_EQ(rs.total.nodes_expanded, serial.total_expanded) << cfg.name();
+    EXPECT_EQ(rs.goals_found, serial.goals_found) << cfg.name();
+  }
+}
+
+TEST(Baselines, FessBalancesFarMoreOftenThanOptimalStatic) {
+  // FESS triggers on the first idle processor, so it performs close to one
+  // load-balancing phase per node-expansion cycle; that is its documented
+  // scalability problem (Section 8).
+  const auto& wl = puzzle::test_workloads()[2];  // t-21k
+  const FifteenPuzzle problem(wl.board());
+
+  simd::Machine m1(128, simd::cm2_cost_model());
+  Engine<FifteenPuzzle> fess_engine(problem, m1, fess());
+  const RunStats fess_run = fess_engine.run();
+
+  simd::Machine m2(128, simd::cm2_cost_model());
+  Engine<FifteenPuzzle> gp_engine(problem, m2, lb::gp_static(0.75));
+  const RunStats gp_run = gp_engine.run();
+
+  EXPECT_GT(fess_run.total.lb_phases, 4 * gp_run.total.lb_phases);
+  // And most cycles are immediately followed by a phase.
+  EXPECT_GT(fess_run.total.lb_phases, fess_run.total.expand_cycles / 2);
+  // Serving one idle PE per phase means exactly one transfer each.
+  EXPECT_EQ(fess_run.total.transfers, fess_run.total.lb_phases);
+}
+
+TEST(Baselines, FegsDistributesWiderThanFessPerPhase) {
+  const auto& wl = puzzle::test_workloads()[2];
+  const FifteenPuzzle problem(wl.board());
+
+  simd::Machine m1(128, simd::cm2_cost_model());
+  Engine<FifteenPuzzle> e1(problem, m1, fess());
+  const RunStats fess_run = e1.run();
+
+  simd::Machine m2(128, simd::cm2_cost_model());
+  Engine<FifteenPuzzle> e2(problem, m2, fegs());
+  const RunStats fegs_run = e2.run();
+
+  const double fess_tpp = static_cast<double>(fess_run.total.transfers) /
+                          static_cast<double>(fess_run.total.lb_phases);
+  const double fegs_tpp = static_cast<double>(fegs_run.total.transfers) /
+                          static_cast<double>(fegs_run.total.lb_phases);
+  EXPECT_GE(fegs_tpp, fess_tpp);
+  // Better distribution -> fewer phases (the paper's observation).
+  EXPECT_LE(fegs_run.total.lb_phases, fess_run.total.lb_phases);
+}
+
+TEST(Baselines, GiveOneTransfersSingleNodes) {
+  // Each transfer under Frye's first scheme moves exactly one node, so the
+  // receiving PE holds exactly one node right after a phase; over the run
+  // the number of transfers is much larger than the number of phases on a
+  // machine with many idle PEs.
+  const auto& wl = puzzle::test_workloads()[1];
+  const FifteenPuzzle problem(wl.board());
+  simd::Machine machine(64, simd::cm2_cost_model());
+  Engine<FifteenPuzzle> engine(problem, machine, frye_give_one(0.75));
+  const RunStats rs = engine.run();
+  EXPECT_GT(rs.total.transfers, rs.total.lb_phases);
+}
+
+TEST(Baselines, NeighborSchemeUsesCheapRounds) {
+  const auto& wl = puzzle::test_workloads()[1];
+  const FifteenPuzzle problem(wl.board());
+  simd::Machine machine(64, simd::cm2_cost_model());
+  Engine<FifteenPuzzle> engine(problem, machine, frye_neighbor());
+  const RunStats rs = engine.run();
+  EXPECT_GT(rs.total.lb_rounds, 0u);
+  // All rounds were charged at the nearest-neighbour cost.
+  const double expected =
+      static_cast<double>(rs.total.lb_rounds) *
+      simd::cm2_cost_model().neighbor_cost() * 64.0;
+  EXPECT_DOUBLE_EQ(rs.total.clock.lb_time, expected);
+}
+
+TEST(Baselines, NeighborSchemeSpreadsWorkSlowly) {
+  // Work moves one hop per phase, so on a ring of 64 the engine needs at
+  // least ~63 rounds before the farthest PE can first receive work.
+  const auto& wl = puzzle::test_workloads()[2];
+  const FifteenPuzzle problem(wl.board());
+  simd::Machine machine(64, simd::cm2_cost_model());
+  Engine<FifteenPuzzle> engine(problem, machine, frye_neighbor());
+  const RunStats rs = engine.run();
+  EXPECT_GT(rs.total.lb_rounds, 63u);
+}
+
+}  // namespace
+}  // namespace simdts::baselines

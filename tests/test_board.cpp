@@ -1,0 +1,147 @@
+#include "puzzle/board.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <stdexcept>
+
+namespace simdts::puzzle {
+namespace {
+
+TEST(Board, GoalLayout) {
+  const Board g = Board::goal();
+  EXPECT_EQ(g.tile(0), 0);
+  for (int pos = 1; pos < kCells; ++pos) {
+    EXPECT_EQ(g.tile(pos), pos);
+  }
+  EXPECT_EQ(g.blank_position(), 0);
+}
+
+TEST(Board, FromTilesRoundTrip) {
+  const std::array<std::uint8_t, kCells> tiles{
+      14, 13, 15, 7, 11, 12, 9, 5, 6, 0, 2, 1, 4, 8, 10, 3};
+  const Board b = Board::from_tiles(tiles);
+  EXPECT_EQ(b.tiles(), tiles);
+  EXPECT_EQ(b.blank_position(), 9);
+}
+
+TEST(Board, FromTilesRejectsDuplicates) {
+  std::array<std::uint8_t, kCells> tiles{};
+  for (int i = 0; i < kCells; ++i) tiles[i] = static_cast<std::uint8_t>(i);
+  tiles[5] = 4;  // duplicate 4, missing 5
+  EXPECT_THROW(Board::from_tiles(tiles), std::invalid_argument);
+}
+
+TEST(Board, FromTilesRejectsOutOfRange) {
+  std::array<std::uint8_t, kCells> tiles{};
+  for (int i = 0; i < kCells; ++i) tiles[i] = static_cast<std::uint8_t>(i);
+  tiles[3] = 16;
+  EXPECT_THROW(Board::from_tiles(tiles), std::invalid_argument);
+}
+
+TEST(Board, IllegalMovesAtCorners) {
+  const Board g = Board::goal();  // blank at 0 (upper-left)
+  int blank = 0;
+  EXPECT_FALSE(g.apply(Move::kUp, blank).has_value());
+  EXPECT_FALSE(g.apply(Move::kLeft, blank).has_value());
+  EXPECT_EQ(blank, 0);  // unchanged on failure
+  EXPECT_TRUE(g.apply(Move::kDown, blank).has_value());
+}
+
+TEST(Board, ApplyMovesBlankAndTile) {
+  const Board g = Board::goal();
+  int blank = 0;
+  std::uint8_t moved = 0;
+  const auto b = g.apply(Move::kRight, blank, &moved);
+  ASSERT_TRUE(b.has_value());
+  EXPECT_EQ(blank, 1);
+  EXPECT_EQ(moved, 1);     // tile 1 slid left into the old blank
+  EXPECT_EQ(b->tile(0), 1);
+  EXPECT_EQ(b->tile(1), 0);
+}
+
+TEST(Board, MoveThenInverseRestores) {
+  Board b = random_walk(42, 30);
+  const Board original = b;
+  int blank = b.blank_position();
+  for (const Move m : {Move::kDown, Move::kRight, Move::kUp, Move::kLeft}) {
+    int pos = blank;
+    const auto moved = b.apply(m, pos);
+    if (!moved.has_value()) continue;
+    int back = pos;
+    const auto restored = moved->apply(inverse(m), back);
+    ASSERT_TRUE(restored.has_value());
+    EXPECT_EQ(*restored, original);
+    EXPECT_EQ(back, blank);
+  }
+}
+
+TEST(Board, GoalIsSolvable) { EXPECT_TRUE(Board::goal().solvable()); }
+
+TEST(Board, SwappingTwoTilesBreaksSolvability) {
+  auto tiles = Board::goal().tiles();
+  std::swap(tiles[1], tiles[2]);  // single transposition, blank untouched
+  EXPECT_FALSE(Board::from_tiles(tiles).solvable());
+}
+
+TEST(Board, PermutationParityOfGoalIsEven) {
+  EXPECT_EQ(Board::goal().permutation_parity(), 0);
+}
+
+TEST(Board, ParityFlipsWithEachMove) {
+  Board b = Board::goal();
+  int blank = 0;
+  const int p0 = b.permutation_parity();
+  b = *b.apply(Move::kRight, blank);
+  EXPECT_NE(b.permutation_parity(), p0);
+  b = *b.apply(Move::kDown, blank);
+  EXPECT_EQ(b.permutation_parity(), p0);
+}
+
+class RandomWalks : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RandomWalks, AlwaysSolvable) {
+  for (int steps : {0, 1, 5, 20, 80}) {
+    const Board b = random_walk(GetParam(), steps);
+    EXPECT_TRUE(b.solvable()) << "seed=" << GetParam() << " steps=" << steps;
+  }
+}
+
+TEST_P(RandomWalks, Deterministic) {
+  EXPECT_EQ(random_walk(GetParam(), 50), random_walk(GetParam(), 50));
+}
+
+TEST_P(RandomWalks, DifferentSeedsDiffer) {
+  EXPECT_NE(random_walk(GetParam(), 50), random_walk(GetParam() + 1, 50));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomWalks,
+                         ::testing::Values(1u, 2u, 3u, 17u, 303015u, 505006u));
+
+TEST(Board, ZeroStepWalkIsGoal) {
+  EXPECT_EQ(random_walk(7, 0), Board::goal());
+}
+
+TEST(Board, ToStringShowsAllTiles) {
+  const std::string s = Board::goal().to_string();
+  for (int t = 1; t < kCells; ++t) {
+    EXPECT_NE(s.find(std::to_string(t)), std::string::npos) << t;
+  }
+  EXPECT_NE(s.find('.'), std::string::npos);  // the blank
+}
+
+TEST(Board, PackedRoundTrip) {
+  const Board b = random_walk(99, 40);
+  EXPECT_EQ(Board(b.packed()), b);
+}
+
+TEST(ManhattanBetween, Basics) {
+  EXPECT_EQ(manhattan_between(0, 0), 0);
+  EXPECT_EQ(manhattan_between(0, 3), 3);
+  EXPECT_EQ(manhattan_between(0, 15), 6);
+  EXPECT_EQ(manhattan_between(5, 10), 2);
+  EXPECT_EQ(manhattan_between(10, 5), 2);
+}
+
+}  // namespace
+}  // namespace simdts::puzzle

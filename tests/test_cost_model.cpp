@@ -1,0 +1,73 @@
+#include "simd/cost_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace simdts::simd {
+namespace {
+
+TEST(CostModel, Cm2DefaultsMatchPaper) {
+  const CostModel cm = cm2_cost_model();
+  EXPECT_DOUBLE_EQ(cm.t_expand, 30.0);
+  EXPECT_DOUBLE_EQ(cm.t_lb, 13.0);
+  EXPECT_EQ(cm.topology, Topology::kCm2Constant);
+}
+
+TEST(CostModel, Cm2CostIndependentOfP) {
+  const CostModel cm = cm2_cost_model();
+  EXPECT_DOUBLE_EQ(cm.lb_round_cost(16), cm.lb_round_cost(65536));
+}
+
+TEST(CostModel, MultiplierScalesLbCost) {
+  const CostModel cm = fast_cpu_cost_model(12.0);
+  EXPECT_DOUBLE_EQ(cm.lb_round_cost(8192), 13.0 * 12.0);
+  EXPECT_DOUBLE_EQ(cm.t_expand, 30.0);
+}
+
+TEST(CostModel, TopologyScaleIsOneAtNormalizeP) {
+  for (const CostModel cm :
+       {cm2_cost_model(), hypercube_cost_model(), mesh_cost_model()}) {
+    EXPECT_DOUBLE_EQ(cm.topology_scale(CostModel::kNormalizeP), 1.0);
+    EXPECT_DOUBLE_EQ(cm.lb_round_cost(CostModel::kNormalizeP), cm.t_lb);
+  }
+}
+
+TEST(CostModel, HypercubeGrowsAsLogSquared) {
+  const CostModel cm = hypercube_cost_model();
+  // Quadrupling log2(P) from 2^4 to 2^16 must scale the cost by 16.
+  EXPECT_NEAR(cm.lb_round_cost(1 << 16) / cm.lb_round_cost(1 << 4), 16.0,
+              1e-9);
+}
+
+TEST(CostModel, MeshGrowsAsSqrtP) {
+  const CostModel cm = mesh_cost_model();
+  EXPECT_NEAR(cm.lb_round_cost(4096) / cm.lb_round_cost(1024), 2.0, 1e-9);
+}
+
+TEST(CostModel, TopologyCostsAreMonotoneInP) {
+  for (const CostModel cm : {hypercube_cost_model(), mesh_cost_model()}) {
+    double prev = 0.0;
+    for (std::uint32_t p = 16; p <= (1u << 16); p *= 2) {
+      const double c = cm.lb_round_cost(p);
+      EXPECT_GT(c, prev) << "P=" << p;
+      prev = c;
+    }
+  }
+}
+
+TEST(CostModel, LbOverExpandRatio) {
+  const CostModel cm = cm2_cost_model();
+  EXPECT_NEAR(cm.lb_over_expand(8192), 13.0 / 30.0, 1e-12);
+}
+
+TEST(CostModel, TinyMachinesDoNotBlowUp) {
+  for (const CostModel cm :
+       {cm2_cost_model(), hypercube_cost_model(), mesh_cost_model()}) {
+    EXPECT_GT(cm.lb_round_cost(1), 0.0);
+    EXPECT_TRUE(std::isfinite(cm.lb_round_cost(1)));
+  }
+}
+
+}  // namespace
+}  // namespace simdts::simd

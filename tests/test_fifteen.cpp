@@ -1,0 +1,141 @@
+#include "puzzle/fifteen.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "puzzle/instances.hpp"
+
+namespace simdts::puzzle {
+namespace {
+
+using search::Bound;
+using search::kUnbounded;
+using search::NextBound;
+
+TEST(Fifteen, RootCachesBlankAndHeuristic) {
+  const Board b = random_walk(123, 40);
+  const FifteenPuzzle p(b);
+  const auto root = p.root();
+  EXPECT_EQ(root.board, b.packed());
+  EXPECT_EQ(root.blank, b.blank_position());
+  EXPECT_EQ(root.g, 0);
+  EXPECT_EQ(root.h, manhattan(b));
+  EXPECT_EQ(root.last, kNoMove);
+}
+
+TEST(Fifteen, GoalDetection) {
+  const FifteenPuzzle p(Board::goal());
+  EXPECT_TRUE(p.is_goal(p.root()));
+  EXPECT_EQ(p.f_value(p.root()), 0);
+}
+
+TEST(Fifteen, CornerRootHasTwoChildren) {
+  const FifteenPuzzle p(Board::goal());  // blank in the corner
+  std::vector<FifteenPuzzle::Node> children;
+  NextBound next;
+  p.expand(p.root(), kUnbounded, children, next);
+  EXPECT_EQ(children.size(), 2u);  // only Down and Right are legal
+  EXPECT_FALSE(next.has_value());
+}
+
+TEST(Fifteen, CenterBlankWithoutHistoryHasFourChildren) {
+  // Build a board with the blank at position 5 (interior).
+  Board b = Board::goal();
+  int blank = 0;
+  b = *b.apply(Move::kRight, blank);
+  b = *b.apply(Move::kDown, blank);
+  ASSERT_EQ(blank, 5);
+  const FifteenPuzzle p(b);
+  std::vector<FifteenPuzzle::Node> children;
+  NextBound next;
+  p.expand(p.root(), kUnbounded, children, next);
+  EXPECT_EQ(children.size(), 4u);
+}
+
+TEST(Fifteen, InverseMoveIsNeverGenerated) {
+  const FifteenPuzzle p(Board::goal());
+  std::vector<FifteenPuzzle::Node> level1;
+  NextBound next;
+  p.expand(p.root(), kUnbounded, level1, next);
+  for (const auto& child : level1) {
+    std::vector<FifteenPuzzle::Node> level2;
+    p.expand(child, kUnbounded, level2, next);
+    const auto inv = static_cast<std::uint8_t>(
+        inverse(static_cast<Move>(child.last)));
+    for (const auto& grandchild : level2) {
+      EXPECT_NE(grandchild.last, inv);
+      EXPECT_NE(grandchild.board, p.root().board)
+          << "expansion undid the previous move";
+    }
+  }
+}
+
+TEST(Fifteen, ChildrenIncrementGAndTrackH) {
+  const Board b = random_walk(9, 35);
+  const FifteenPuzzle p(b);
+  std::vector<FifteenPuzzle::Node> children;
+  NextBound next;
+  p.expand(p.root(), kUnbounded, children, next);
+  for (const auto& c : children) {
+    EXPECT_EQ(c.g, 1);
+    EXPECT_EQ(c.h, manhattan(Board(c.board)))
+        << "incremental h out of sync with recomputation";
+    const int dh = int{c.h} - int{p.root().h};
+    EXPECT_TRUE(dh == 1 || dh == -1);
+  }
+}
+
+TEST(Fifteen, BoundPrunesAndReportsNextThreshold) {
+  const Board b = random_walk(77, 50);
+  const FifteenPuzzle p(b);
+  const auto root = p.root();
+
+  std::vector<FifteenPuzzle::Node> all;
+  NextBound none;
+  p.expand(root, kUnbounded, all, none);
+
+  // With bound = h(root) - 1, every child has f >= h(root) - ... in fact
+  // f(child) >= f(root) - is not guaranteed; just verify the partition:
+  // pruned children are exactly those with f > bound, and next is their min.
+  const Bound bound = p.f_value(root);
+  std::vector<FifteenPuzzle::Node> kept;
+  NextBound next;
+  p.expand(root, bound, kept, next);
+  Bound expect_min = kUnbounded;
+  std::size_t expect_kept = 0;
+  for (const auto& c : all) {
+    const Bound f = p.f_value(c);
+    if (f <= bound) {
+      ++expect_kept;
+    } else if (f < expect_min) {
+      expect_min = f;
+    }
+  }
+  EXPECT_EQ(kept.size(), expect_kept);
+  if (expect_min != kUnbounded) {
+    ASSERT_TRUE(next.has_value());
+    EXPECT_EQ(next.value(), expect_min);
+  } else {
+    EXPECT_FALSE(next.has_value());
+  }
+}
+
+TEST(Fifteen, LinearConflictVariantExpands) {
+  const Board b = random_walk(31, 30);
+  const FifteenPuzzle p(b, Heuristic::kLinearConflict);
+  EXPECT_EQ(p.root().h, linear_conflict(b));
+  std::vector<FifteenPuzzle::Node> children;
+  NextBound next;
+  p.expand(p.root(), kUnbounded, children, next);
+  for (const auto& c : children) {
+    EXPECT_EQ(c.h, linear_conflict(Board(c.board)));
+  }
+}
+
+TEST(Fifteen, NodeIsTwoWords) {
+  EXPECT_EQ(sizeof(FifteenPuzzle::Node), 16u);
+}
+
+}  // namespace
+}  // namespace simdts::puzzle

@@ -1,0 +1,146 @@
+#include "puzzle/heuristic.hpp"
+
+#include <gtest/gtest.h>
+
+#include "puzzle/board.hpp"
+#include "puzzle/instances.hpp"
+
+namespace simdts::puzzle {
+namespace {
+
+TEST(Manhattan, GoalIsZero) { EXPECT_EQ(manhattan(Board::goal()), 0); }
+
+TEST(Manhattan, SingleMoveIsOne) {
+  int blank = 0;
+  const Board b = *Board::goal().apply(Move::kRight, blank);
+  EXPECT_EQ(manhattan(b), 1);
+}
+
+TEST(Manhattan, BlankDoesNotCount) {
+  EXPECT_EQ(tile_distance(0, 15), 0);
+  EXPECT_EQ(tile_distance(0, 7), 0);
+}
+
+TEST(Manhattan, TileDistanceMatchesGeometry) {
+  // Tile 15's home is position 15 (bottom-right); at position 0 it is 6 away.
+  EXPECT_EQ(tile_distance(15, 0), 6);
+  EXPECT_EQ(tile_distance(15, 15), 0);
+  EXPECT_EQ(tile_distance(1, 1), 0);
+  EXPECT_EQ(tile_distance(1, 13), 3);
+}
+
+TEST(Manhattan, ParityMatchesSolutionLengthParity) {
+  // Every move changes h by +-1, so h(root) and the optimal length have the
+  // same parity; check against the embedded Korf optima.
+  for (const auto& inst : korf_instances()) {
+    const int h = manhattan(inst.board());
+    EXPECT_EQ(h % 2, inst.optimal % 2) << inst.name;
+    EXPECT_LE(h, inst.optimal) << inst.name;  // admissibility at the root
+  }
+}
+
+class WalkSeeds : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(WalkSeeds, IncrementalDeltaMatchesRecompute) {
+  Board b = random_walk(GetParam(), 25);
+  int blank = b.blank_position();
+  int h = manhattan(b);
+  for (int step = 0; step < 200; ++step) {
+    const auto m = static_cast<Move>((GetParam() + static_cast<std::uint64_t>(step) * 2654435761u) % 4);
+    int pos = blank;
+    std::uint8_t moved = 0;
+    const auto next = b.apply(m, pos, &moved);
+    if (!next.has_value()) continue;
+    h += manhattan_delta(moved, pos, blank);  // tile slid new-blank -> old-blank
+    b = *next;
+    blank = pos;
+    ASSERT_EQ(h, manhattan(b)) << "seed=" << GetParam() << " step=" << step;
+  }
+}
+
+TEST_P(WalkSeeds, WalkLengthBoundsManhattan) {
+  for (int steps : {1, 7, 19, 44}) {
+    const Board b = random_walk(GetParam(), steps);
+    const int h = manhattan(b);
+    EXPECT_LE(h, steps);
+    EXPECT_EQ(h % 2, steps % 2);  // each move flips distance parity
+  }
+}
+
+TEST_P(WalkSeeds, LinearConflictDominatesManhattan) {
+  for (int steps : {5, 25, 60}) {
+    const Board b = random_walk(GetParam() * 31 + 7, steps);
+    EXPECT_GE(linear_conflict(b), manhattan(b));
+    EXPECT_LE(linear_conflict(b), steps);  // still admissible
+    EXPECT_EQ(linear_conflict(b) % 2, manhattan(b) % 2);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WalkSeeds,
+                         ::testing::Values(11u, 12u, 13u, 21u, 34u, 55u, 89u));
+
+TEST(LinearConflict, GoalIsZero) {
+  EXPECT_EQ(linear_conflict(Board::goal()), 0);
+}
+
+TEST(LinearConflict, SwappedRowNeighborsAddTwo) {
+  // Swap tiles 1 and 2 within goal row 0... that breaks solvability, but the
+  // heuristic itself is still well-defined: reversal = one conflict.
+  auto tiles = Board::goal().tiles();
+  std::swap(tiles[1], tiles[2]);
+  const Board b = Board::from_tiles(tiles);
+  // Manhattan: both tiles one step from home = 2; conflict adds 2.
+  EXPECT_EQ(manhattan(b), 2);
+  EXPECT_EQ(linear_conflict(b), 4);
+}
+
+TEST(LinearConflict, ThreeWayReversalCountsMinimumRemovals) {
+  // Reverse tiles 1, 2, 3 in row 0 (-> 3, 2, 1): all three pairwise
+  // conflicts are resolved by removing the middle tile plus one more; the
+  // admissible count is 2 removals = +4, not 3 pairs = +6.
+  auto tiles = Board::goal().tiles();
+  std::swap(tiles[1], tiles[3]);
+  const Board b = Board::from_tiles(tiles);
+  EXPECT_EQ(manhattan(b), 4);
+  EXPECT_EQ(linear_conflict(b), 4 + 4);
+}
+
+TEST(LinearConflict, ColumnConflictsCount) {
+  // Swap tiles 4 and 12 (both in column 0, rows 1 and 3).  Tile 8 sits
+  // between them in its own goal cell, so both 12 and 4 must pass it: the
+  // conflict graph is a triangle, resolved by removing two tiles (+4).
+  auto tiles = Board::goal().tiles();
+  std::swap(tiles[4], tiles[12]);
+  const Board b = Board::from_tiles(tiles);
+  EXPECT_EQ(manhattan(b), 4);
+  EXPECT_EQ(linear_conflict(b), 4 + 4);
+
+  // Swapping adjacent column tiles 4 and 8 instead leaves a single pairwise
+  // conflict (+2).
+  auto tiles2 = Board::goal().tiles();
+  std::swap(tiles2[4], tiles2[8]);
+  const Board b2 = Board::from_tiles(tiles2);
+  EXPECT_EQ(manhattan(b2), 2);
+  EXPECT_EQ(linear_conflict(b2), 2 + 2);
+}
+
+TEST(LinearConflict, TilesPassingThroughForeignLinesDoNotConflict) {
+  // Tiles that are merely *in* a line but belong elsewhere add nothing:
+  // swapping tiles 1 and 6 leaves each outside both of its current lines'
+  // goal rows/columns (tile 6 at position 1 is off its goal row and column,
+  // as is tile 1 at position 6).
+  auto tiles = Board::goal().tiles();
+  std::swap(tiles[1], tiles[6]);
+  const Board b = Board::from_tiles(tiles);
+  EXPECT_EQ(manhattan(b), 4);
+  EXPECT_EQ(linear_conflict(b), manhattan(b));
+}
+
+TEST(Evaluate, DispatchesOnHeuristicKind) {
+  const Board b = random_walk(5, 30);
+  EXPECT_EQ(evaluate(b, Heuristic::kManhattan), manhattan(b));
+  EXPECT_EQ(evaluate(b, Heuristic::kLinearConflict), linear_conflict(b));
+}
+
+}  // namespace
+}  // namespace simdts::puzzle

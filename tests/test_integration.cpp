@@ -1,0 +1,196 @@
+// Cross-module integration tests: the paper's qualitative claims, verified
+// end-to-end on mid-size instances at a realistic (scaled-down) machine size.
+#include <gtest/gtest.h>
+
+#include "analysis/model.hpp"
+#include "lb/engine.hpp"
+#include "puzzle/fifteen.hpp"
+#include "puzzle/workloads.hpp"
+#include "search/serial.hpp"
+#include "simd/cost_model.hpp"
+
+namespace simdts {
+namespace {
+
+using lb::Engine;
+using lb::RunStats;
+using lb::SchemeConfig;
+using puzzle::FifteenPuzzle;
+
+RunStats run_scheme(const FifteenPuzzle& problem, std::uint32_t p,
+                    const SchemeConfig& cfg,
+                    simd::CostModel cost = simd::cm2_cost_model()) {
+  simd::Machine machine(p, cost);
+  Engine<FifteenPuzzle> engine(problem, machine, cfg);
+  return engine.run();
+}
+
+constexpr std::uint32_t kP = 256;
+
+const FifteenPuzzle& mid_problem() {
+  static const FifteenPuzzle problem(puzzle::test_workloads()[4].board());
+  return problem;  // t-326k
+}
+
+TEST(Integration, GpNeverDoesMoreLbPhasesThanNgpAtHighX) {
+  // Section 4: GP's V(P) bound beats nGP's, and the gap opens as x -> 1.
+  for (const double x : {0.8, 0.9}) {
+    const RunStats gp = run_scheme(mid_problem(), kP, lb::gp_static(x));
+    const RunStats ngp = run_scheme(mid_problem(), kP, lb::ngp_static(x));
+    EXPECT_LE(gp.total.lb_phases, ngp.total.lb_phases) << "x=" << x;
+    EXPECT_GE(gp.efficiency(), ngp.efficiency() - 0.02) << "x=" << x;
+  }
+}
+
+TEST(Integration, LbPhaseGapGrowsWithX) {
+  // Figure 3: N_lb(nGP) - N_lb(GP) increases with the static threshold.
+  std::vector<std::int64_t> gaps;
+  for (const double x : {0.6, 0.75, 0.9}) {
+    const RunStats gp = run_scheme(mid_problem(), kP, lb::gp_static(x));
+    const RunStats ngp = run_scheme(mid_problem(), kP, lb::ngp_static(x));
+    gaps.push_back(static_cast<std::int64_t>(ngp.total.lb_phases) -
+                   static_cast<std::int64_t>(gp.total.lb_phases));
+  }
+  EXPECT_LE(gaps[0], gaps[1]);
+  EXPECT_LT(gaps[1], gaps[2]);
+}
+
+TEST(Integration, SchemesAgreeAtOrBelowHalfThreshold) {
+  // "When x <= 0.5 both schemes are similar": with half the machine idle
+  // before a phase fires, (almost) every busy PE donates in it, so GP's
+  // rotation barely matters.  The runs are not bit-identical — who receives
+  // which stack changes the future census — but phase counts and efficiency
+  // must track closely, unlike the high-x regime of LbPhaseGapGrowsWithX.
+  const RunStats gp = run_scheme(mid_problem(), kP, lb::gp_static(0.5));
+  const RunStats ngp = run_scheme(mid_problem(), kP, lb::ngp_static(0.5));
+  const double phase_ratio = static_cast<double>(gp.total.lb_phases) /
+                             static_cast<double>(ngp.total.lb_phases);
+  EXPECT_GT(phase_ratio, 0.8);
+  EXPECT_LT(phase_ratio, 1.25);
+  EXPECT_NEAR(gp.efficiency(), ngp.efficiency(), 0.03);
+}
+
+TEST(Integration, EfficiencyRisesWithWAtFixedP) {
+  // The scalability premise: larger problems run more efficiently on the
+  // same machine.
+  const FifteenPuzzle small(puzzle::test_workloads()[2].board());   // ~21k
+  const FifteenPuzzle large(puzzle::test_workloads()[4].board());   // ~326k
+  const RunStats rs_small = run_scheme(small, kP, lb::gp_static(0.75));
+  const RunStats rs_large = run_scheme(large, kP, lb::gp_static(0.75));
+  EXPECT_GT(rs_large.efficiency(), rs_small.efficiency());
+}
+
+TEST(Integration, EfficiencyFallsWithPAtFixedW) {
+  const RunStats at64 = run_scheme(mid_problem(), 64, lb::gp_static(0.75));
+  const RunStats at1024 = run_scheme(mid_problem(), 1024, lb::gp_static(0.75));
+  EXPECT_GT(at64.efficiency(), at1024.efficiency());
+}
+
+TEST(Integration, AnalyticOptimalTriggerIsNearEmpiricalOptimum) {
+  // Table 3's claim: eq. 18 lands near the measured best static threshold.
+  const auto& wl = puzzle::test_workloads()[4];
+  const analysis::TriggerModel model{
+      static_cast<double>(wl.serial_total), kP, 13.0 / 30.0, 0.7};
+  const double xo = analysis::optimal_static_trigger(model);
+
+  double best_x = 0.0;
+  double best_e = 0.0;
+  for (double x = 0.50; x <= 0.96; x += 0.05) {
+    const RunStats rs = run_scheme(mid_problem(), kP, lb::gp_static(x));
+    if (rs.efficiency() > best_e) {
+      best_e = rs.efficiency();
+      best_x = x;
+    }
+  }
+  EXPECT_NEAR(best_x, xo, 0.11)
+      << "analytic trigger " << xo << " vs empirical best " << best_x;
+  // And running *at* the analytic trigger is within a whisker of the best.
+  const RunStats at_xo = run_scheme(mid_problem(), kP,
+                                    lb::gp_static(std::min(xo, 0.97)));
+  EXPECT_GT(at_xo.efficiency(), 0.9 * best_e);
+}
+
+TEST(Integration, DkOverheadBoundedVsOptimalStatic) {
+  // Section 6.2: T_idle + T_lb of D^K is at most twice the optimal static
+  // scheme's (we allow a little slack for the discrete simulation).
+  const auto& wl = puzzle::test_workloads()[4];
+  const analysis::TriggerModel model{
+      static_cast<double>(wl.serial_total), kP, 13.0 / 30.0, 0.7};
+  const double xo = analysis::optimal_static_trigger(model);
+  const RunStats sxo = run_scheme(mid_problem(), kP,
+                                  lb::gp_static(std::min(xo, 0.97)));
+  const RunStats dk = run_scheme(mid_problem(), kP, lb::gp_dk());
+
+  const double overhead_sxo =
+      sxo.total.clock.idle_time + sxo.total.clock.lb_time;
+  const double overhead_dk = dk.total.clock.idle_time + dk.total.clock.lb_time;
+  EXPECT_LT(overhead_dk, 2.2 * overhead_sxo);
+}
+
+TEST(Integration, DkBeatsDpWhenLbIsExpensive) {
+  // Table 5: at 12-16x load-balancing cost, D^K clearly outperforms D^P.
+  const simd::CostModel expensive = simd::fast_cpu_cost_model(16.0);
+  const RunStats dp = run_scheme(mid_problem(), kP, lb::gp_dp(), expensive);
+  const RunStats dk = run_scheme(mid_problem(), kP, lb::gp_dk(), expensive);
+  EXPECT_GT(dk.efficiency(), dp.efficiency());
+}
+
+TEST(Integration, DynamicSchemesCompetitiveWithOptimalStaticAtCm2Costs) {
+  // Table 4 vs Table 2: D^P and D^K match the optimal static trigger when
+  // load balancing is cheap.
+  double best_static = 0.0;
+  for (double x = 0.6; x <= 0.95; x += 0.05) {
+    best_static = std::max(
+        best_static, run_scheme(mid_problem(), kP, lb::gp_static(x))
+                         .efficiency());
+  }
+  const double dp = run_scheme(mid_problem(), kP, lb::gp_dp()).efficiency();
+  const double dk = run_scheme(mid_problem(), kP, lb::gp_dk()).efficiency();
+  EXPECT_GT(dp, 0.85 * best_static);
+  EXPECT_GT(dk, 0.85 * best_static);
+}
+
+TEST(Integration, HigherLbCostLowersEfficiency) {
+  const RunStats cheap = run_scheme(mid_problem(), kP, lb::gp_dk());
+  const RunStats costly = run_scheme(mid_problem(), kP, lb::gp_dk(),
+                                     simd::fast_cpu_cost_model(16.0));
+  EXPECT_GT(cheap.efficiency(), costly.efficiency());
+}
+
+TEST(Integration, BottomSplitBeatsTopSplit) {
+  // The alpha-splitting assumption in practice: donating the shallowest
+  // node (large subtree) needs far fewer load-balancing phases than
+  // donating the deepest (tiny subtree).
+  SchemeConfig bottom = lb::gp_static(0.75);
+  SchemeConfig top = bottom;
+  top.split = search::SplitStrategy::kTopNode;
+  const RunStats b = run_scheme(mid_problem(), kP, bottom);
+  const RunStats t = run_scheme(mid_problem(), kP, top);
+  EXPECT_LT(b.total.lb_phases, t.total.lb_phases);
+  EXPECT_GT(b.efficiency(), t.efficiency());
+}
+
+TEST(Integration, MeshCostlierThanHypercubeCostlierThanCm2) {
+  // Table 6 directionally, measured: topology-scaled lb costs order the
+  // achieved efficiencies on a machine larger than the normalization size.
+  simd::CostModel cm2 = simd::cm2_cost_model();
+  simd::CostModel hyper = simd::hypercube_cost_model();
+  simd::CostModel mesh = simd::mesh_cost_model();
+  // At P = 256 << 8192 the normalized topology factors are *below* one for
+  // mesh... so compare by forcing the normalization at this size instead.
+  hyper.t_lb = 13.0 * 4.0;   // pretend log^2 scaling already applied
+  mesh.t_lb = 13.0 * 8.0;
+  hyper.topology = simd::Topology::kCm2Constant;
+  mesh.topology = simd::Topology::kCm2Constant;
+  const double e_cm2 = run_scheme(mid_problem(), kP, lb::gp_dk(), cm2)
+                           .efficiency();
+  const double e_hyper = run_scheme(mid_problem(), kP, lb::gp_dk(), hyper)
+                             .efficiency();
+  const double e_mesh = run_scheme(mid_problem(), kP, lb::gp_dk(), mesh)
+                            .efficiency();
+  EXPECT_GT(e_cm2, e_hyper);
+  EXPECT_GT(e_hyper, e_mesh);
+}
+
+}  // namespace
+}  // namespace simdts

@@ -1,0 +1,152 @@
+#include "mimd/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "puzzle/fifteen.hpp"
+#include "puzzle/workloads.hpp"
+#include "queens/queens.hpp"
+#include "search/serial.hpp"
+#include "synthetic/tree.hpp"
+
+namespace simdts::mimd {
+namespace {
+
+using puzzle::FifteenPuzzle;
+using search::kUnbounded;
+
+TEST(Mimd, RejectsBadConfig) {
+  const queens::Queens q(6);
+  EXPECT_THROW(MimdEngine<queens::Queens>(q, 0, MimdConfig{}),
+               std::invalid_argument);
+  MimdConfig zero_latency;
+  zero_latency.latency = 0;
+  EXPECT_THROW(MimdEngine<queens::Queens>(q, 4, zero_latency),
+               std::invalid_argument);
+}
+
+using ConsParam = std::tuple<StealPolicy, std::uint32_t /*P*/,
+                             std::uint32_t /*latency*/>;
+
+class MimdConservation : public ::testing::TestWithParam<ConsParam> {};
+
+TEST_P(MimdConservation, ExpansionsMatchSerial) {
+  const auto [policy, p, latency] = GetParam();
+  const auto& wl = puzzle::test_workloads()[1];  // t-4k
+  const FifteenPuzzle problem(wl.board());
+  const auto serial =
+      search::serial_dfs(problem, problem.root(), wl.solution_length);
+
+  MimdConfig cfg;
+  cfg.policy = policy;
+  cfg.latency = latency;
+  MimdEngine<FifteenPuzzle> engine(problem, p, cfg);
+  const MimdStats stats = engine.run_iteration(wl.solution_length);
+  EXPECT_EQ(stats.nodes_expanded, serial.nodes_expanded);
+  EXPECT_EQ(stats.goals_found, serial.goals_found);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PoliciesSizesLatencies, MimdConservation,
+    ::testing::Combine(::testing::Values(StealPolicy::kGlobalRoundRobin,
+                                         StealPolicy::kAsyncRoundRobin,
+                                         StealPolicy::kRandomPolling),
+                       ::testing::Values(1u, 2u, 17u, 64u),
+                       ::testing::Values(1u, 3u, 8u)));
+
+TEST(Mimd, QueensSolutionsConserved) {
+  const queens::Queens q(8);
+  for (const auto policy :
+       {StealPolicy::kGlobalRoundRobin, StealPolicy::kAsyncRoundRobin,
+        StealPolicy::kRandomPolling}) {
+    MimdConfig cfg;
+    cfg.policy = policy;
+    MimdEngine<queens::Queens> engine(q, 128, cfg);
+    const MimdStats stats = engine.run_iteration(kUnbounded);
+    EXPECT_EQ(stats.goals_found, 92u) << to_string(policy);
+  }
+}
+
+TEST(Mimd, SingleProcessorIsPerfectlyEfficient) {
+  const auto& wl = puzzle::test_workloads()[0];
+  const FifteenPuzzle problem(wl.board());
+  MimdEngine<FifteenPuzzle> engine(problem, 1, MimdConfig{});
+  const MimdStats stats = engine.run_iteration(wl.solution_length);
+  EXPECT_EQ(stats.steps, stats.nodes_expanded);
+  EXPECT_DOUBLE_EQ(stats.efficiency(1), 1.0);
+  EXPECT_EQ(stats.steal_requests, 0u);
+}
+
+TEST(Mimd, Deterministic) {
+  const synthetic::Tree tree(synthetic::Params{77, 4, 0.38, 16});
+  MimdConfig cfg;
+  cfg.policy = StealPolicy::kRandomPolling;
+  MimdEngine<synthetic::Tree> e1(tree, 64, cfg);
+  MimdEngine<synthetic::Tree> e2(tree, 64, cfg);
+  const MimdStats a = e1.run_iteration(kUnbounded);
+  const MimdStats b = e2.run_iteration(kUnbounded);
+  EXPECT_EQ(a.steps, b.steps);
+  EXPECT_EQ(a.steal_requests, b.steal_requests);
+  EXPECT_EQ(a.steals, b.steals);
+}
+
+TEST(Mimd, ParallelismShortensTheRun) {
+  const auto& wl = puzzle::test_workloads()[2];  // t-21k
+  const FifteenPuzzle problem(wl.board());
+  MimdEngine<FifteenPuzzle> e1(problem, 1, MimdConfig{});
+  MimdEngine<FifteenPuzzle> e64(problem, 64, MimdConfig{});
+  const MimdStats s1 = e1.run_iteration(wl.solution_length);
+  const MimdStats s64 = e64.run_iteration(wl.solution_length);
+  EXPECT_LT(s64.steps, s1.steps / 8);
+}
+
+TEST(Mimd, HigherLatencyCostsEfficiency) {
+  const auto& wl = puzzle::test_workloads()[2];
+  const FifteenPuzzle problem(wl.board());
+  MimdConfig fast;
+  fast.latency = 1;
+  MimdConfig slow;
+  slow.latency = 16;
+  MimdEngine<FifteenPuzzle> e1(problem, 128, fast);
+  MimdEngine<FifteenPuzzle> e2(problem, 128, slow);
+  EXPECT_GT(e1.run_iteration(wl.solution_length).efficiency(128),
+            e2.run_iteration(wl.solution_length).efficiency(128));
+}
+
+TEST(Mimd, StealAccountingIsConsistent) {
+  const auto& wl = puzzle::test_workloads()[1];
+  const FifteenPuzzle problem(wl.board());
+  MimdEngine<FifteenPuzzle> engine(problem, 32, MimdConfig{});
+  const MimdStats s = engine.run_iteration(wl.solution_length);
+  // Requests still in flight at termination are dropped with the machine,
+  // so sent >= answered.
+  EXPECT_GE(s.steal_requests, s.steals + s.rejections);
+  EXPECT_LE(s.steal_requests, s.steals + s.rejections + 32 * 2);
+  EXPECT_EQ(s.service_steps, s.steals);
+  EXPECT_GT(s.steals, 0u);
+}
+
+TEST(Mimd, EfficiencyWithinUnitInterval) {
+  const auto& wl = puzzle::test_workloads()[1];
+  const FifteenPuzzle problem(wl.board());
+  for (const auto policy :
+       {StealPolicy::kGlobalRoundRobin, StealPolicy::kAsyncRoundRobin,
+        StealPolicy::kRandomPolling}) {
+    MimdConfig cfg;
+    cfg.policy = policy;
+    MimdEngine<FifteenPuzzle> engine(problem, 256, cfg);
+    const MimdStats s = engine.run_iteration(wl.solution_length);
+    EXPECT_GT(s.efficiency(256), 0.0) << to_string(policy);
+    EXPECT_LE(s.efficiency(256), 1.0) << to_string(policy);
+  }
+}
+
+TEST(Mimd, PolicyNames) {
+  EXPECT_STREQ(to_string(StealPolicy::kGlobalRoundRobin), "GRR");
+  EXPECT_STREQ(to_string(StealPolicy::kAsyncRoundRobin), "ARR");
+  EXPECT_STREQ(to_string(StealPolicy::kRandomPolling), "RP");
+}
+
+}  // namespace
+}  // namespace simdts::mimd

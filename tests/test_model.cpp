@@ -1,0 +1,163 @@
+#include "analysis/model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace simdts::analysis {
+namespace {
+
+constexpr double kCm2Ratio = 13.0 / 30.0;
+
+TriggerModel paper_model(double w) {
+  return TriggerModel{w, 8192, kCm2Ratio, 0.7};
+}
+
+TEST(SplitLog, HalvingGivesLog2) {
+  EXPECT_NEAR(split_log(1024.0, 0.5), 10.0, 1e-9);
+}
+
+TEST(SplitLog, WorseAlphaNeedsMoreTransfers) {
+  EXPECT_GT(split_log(1e6, 0.1), split_log(1e6, 0.5));
+}
+
+TEST(SplitLog, RejectsBadAlpha) {
+  EXPECT_THROW((void)split_log(100.0, 0.0), std::invalid_argument);
+  EXPECT_THROW((void)split_log(100.0, 1.0), std::invalid_argument);
+}
+
+TEST(OptimalTrigger, ReproducesPaperTable2Column) {
+  // Table 2's last column: analytic x_o for the four problem sizes at
+  // P = 8192 on the CM-2 is 0.82, 0.89, 0.92, 0.95.
+  EXPECT_NEAR(optimal_static_trigger(paper_model(941852)), 0.82, 0.015);
+  EXPECT_NEAR(optimal_static_trigger(paper_model(3055171)), 0.89, 0.015);
+  EXPECT_NEAR(optimal_static_trigger(paper_model(6073623)), 0.92, 0.015);
+  EXPECT_NEAR(optimal_static_trigger(paper_model(16110463)), 0.95, 0.015);
+}
+
+TEST(OptimalTrigger, IncreasesWithProblemSize) {
+  double prev = 0.0;
+  for (const double w : {1e5, 1e6, 1e7, 1e8}) {
+    const double xo = optimal_static_trigger(paper_model(w));
+    EXPECT_GT(xo, prev);
+    prev = xo;
+  }
+}
+
+TEST(OptimalTrigger, DecreasesWithMachineSize) {
+  TriggerModel m = paper_model(1e6);
+  m.p = 1024;
+  const double small = optimal_static_trigger(m);
+  m.p = 32768;
+  const double large = optimal_static_trigger(m);
+  EXPECT_GT(small, large);
+}
+
+TEST(OptimalTrigger, DecreasesWithLbCost) {
+  TriggerModel m = paper_model(1e6);
+  const double cheap = optimal_static_trigger(m);
+  m.tlb_over_ucalc = 16 * kCm2Ratio;
+  EXPECT_LT(optimal_static_trigger(m), cheap);
+}
+
+TEST(OptimalTrigger, DecreasesWithWorseSplitter) {
+  TriggerModel m = paper_model(1e6);
+  const double good = optimal_static_trigger(m);
+  m.alpha = 0.1;
+  EXPECT_LT(optimal_static_trigger(m), good);
+}
+
+TEST(OptimalTrigger, AlwaysInUnitInterval) {
+  for (const double w : {1e3, 1e6, 1e9}) {
+    for (const std::uint32_t p : {16u, 8192u, 1u << 20}) {
+      TriggerModel m{w, p, kCm2Ratio, 0.5};
+      const double xo = optimal_static_trigger(m);
+      EXPECT_GT(xo, 0.0);
+      EXPECT_LT(xo, 1.0);
+    }
+  }
+}
+
+TEST(PredictedEfficiency, PeaksNearOptimalTrigger) {
+  const TriggerModel m = paper_model(3055171);
+  const double xo = optimal_static_trigger(m);
+  const double at_opt = predicted_efficiency_gp(m, xo);
+  EXPECT_GT(at_opt, predicted_efficiency_gp(m, xo - 0.15));
+  EXPECT_GT(at_opt, predicted_efficiency_gp(m, std::min(0.99, xo + 0.15)));
+}
+
+TEST(PredictedEfficiency, BoundedByX) {
+  const TriggerModel m = paper_model(1e7);
+  for (const double x : {0.3, 0.6, 0.9}) {
+    const double e = predicted_efficiency_gp(m, x);
+    EXPECT_GT(e, 0.0);
+    EXPECT_LE(e, x + 1e-12);
+  }
+}
+
+TEST(VBounds, GpIsGeometric) {
+  EXPECT_DOUBLE_EQ(v_bound_gp(0.5), 1.0);
+  EXPECT_DOUBLE_EQ(v_bound_gp(0.75), 4.0);
+  EXPECT_DOUBLE_EQ(v_bound_gp(0.9), 10.0);
+}
+
+TEST(VBounds, NgpCollapsesToOneAtOrBelowHalf) {
+  EXPECT_DOUBLE_EQ(v_bound_ngp(0.5, 1e6), 1.0);
+  EXPECT_DOUBLE_EQ(v_bound_ngp(0.3, 1e6), 1.0);
+}
+
+TEST(VBounds, NgpGrowsPolylogarithmically) {
+  const double w = 1e6;  // log2 W ~ 19.9
+  // x = 0.6: exponent 0.5; x = 0.9: exponent 8.
+  EXPECT_NEAR(v_bound_ngp(0.6, w), std::sqrt(std::log2(w)), 1e-9);
+  EXPECT_NEAR(v_bound_ngp(0.9, w), std::pow(std::log2(w), 8.0), 1e-3);
+}
+
+TEST(VBounds, GapBetweenSchemesExplodesWithX) {
+  // The paper's example: raising x from 0.8 to 0.9 multiplies the nGP bound
+  // by log^5 W while GP merely doubles.
+  const double w = 1e6;
+  const double ngp_ratio = v_bound_ngp(0.9, w) / v_bound_ngp(0.8, w);
+  const double gp_ratio = v_bound_gp(0.9) / v_bound_gp(0.8);
+  EXPECT_NEAR(gp_ratio, 2.0, 1e-9);
+  EXPECT_NEAR(ngp_ratio, std::pow(std::log2(w), 5.0), 1.0);
+}
+
+TEST(LbPhaseBound, ScalesWithVAndW) {
+  EXPECT_NEAR(lb_phase_bound(1.0, 1024.0, 0.5), 10.0, 1e-9);
+  EXPECT_NEAR(lb_phase_bound(4.0, 1024.0, 0.5), 40.0, 1e-9);
+}
+
+TEST(Table6, HasAllSixRows) {
+  const auto rows = table6_formulas();
+  ASSERT_EQ(rows.size(), 6u);
+  for (const auto& r : rows) {
+    EXPECT_FALSE(r.architecture.empty());
+    EXPECT_FALSE(r.formula.empty());
+    EXPECT_GT(r.grow(8192.0, 0.9), 0.0);
+  }
+}
+
+TEST(Table6, GpScalesBetterThanNgpEverywhere) {
+  const auto rows = table6_formulas();
+  // Rows come in (GP, nGP) pairs per architecture; at x = 0.9 the nGP growth
+  // term must dominate for large P.
+  for (std::size_t i = 0; i + 1 < rows.size(); i += 2) {
+    const double gp = rows[i].grow(1 << 20, 0.9);
+    const double ngp = rows[i + 1].grow(1 << 20, 0.9);
+    EXPECT_LT(gp, ngp) << rows[i].architecture;
+  }
+}
+
+TEST(Table6, HypercubeAndMeshCostMoreThanCm2) {
+  const auto rows = table6_formulas();
+  const double p = 1 << 20;  // log^3 P and P^0.5 log P cross at P = 2^16
+  const double cm2 = rows[0].grow(p, 0.9);
+  const double hyper = rows[2].grow(p, 0.9);
+  const double mesh = rows[4].grow(p, 0.9);
+  EXPECT_LT(cm2, hyper);
+  EXPECT_LT(hyper, mesh);
+}
+
+}  // namespace
+}  // namespace simdts::analysis

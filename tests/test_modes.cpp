@@ -1,0 +1,105 @@
+// Engine modes beyond plain exhaustive iteration: first-solution quitting
+// (with its speedup anomalies) and branch and bound.
+#include <gtest/gtest.h>
+
+#include "lb/engine.hpp"
+#include "puzzle/fifteen.hpp"
+#include "puzzle/workloads.hpp"
+#include "search/serial.hpp"
+#include "tsp/tsp.hpp"
+
+namespace simdts::lb {
+namespace {
+
+using puzzle::FifteenPuzzle;
+
+TEST(FirstSolution, StopsAtFirstGoalCycle) {
+  const auto& wl = puzzle::test_workloads()[2];  // t-21k
+  const FifteenPuzzle problem(wl.board());
+  simd::Machine machine(64, simd::cm2_cost_model());
+  Engine<FifteenPuzzle> engine(problem, machine, gp_dk());
+  const IterationStats it = engine.run_first_solution(wl.solution_length);
+  EXPECT_GE(it.goals_found, 1u);
+  const IterationStats full =
+      engine.run_iteration(wl.solution_length);
+  EXPECT_LT(it.nodes_expanded, full.nodes_expanded);
+  EXPECT_LT(it.expand_cycles, full.expand_cycles);
+}
+
+TEST(FirstSolution, SerialReferenceStopsAtFirstGoal) {
+  const auto& wl = puzzle::test_workloads()[0];
+  const FifteenPuzzle problem(wl.board());
+  const auto first = search::serial_first_solution(
+      problem, problem.root(), wl.solution_length);
+  const auto full =
+      search::serial_dfs(problem, problem.root(), wl.solution_length);
+  EXPECT_EQ(first.goals_found, 1u);
+  EXPECT_LE(first.nodes_expanded, full.nodes_expanded);
+}
+
+TEST(FirstSolution, NoGoalBelowBoundSearchesEverything) {
+  const auto& wl = puzzle::test_workloads()[0];
+  const FifteenPuzzle problem(wl.board());
+  simd::Machine machine(16, simd::cm2_cost_model());
+  Engine<FifteenPuzzle> engine(problem, machine, gp_static(0.75));
+  const search::Bound below =
+      static_cast<search::Bound>(wl.solution_length - 2);
+  const IterationStats it = engine.run_first_solution(below);
+  EXPECT_EQ(it.goals_found, 0u);
+  const auto serial = search::serial_dfs(problem, problem.root(), below);
+  EXPECT_EQ(it.nodes_expanded, serial.nodes_expanded);
+}
+
+TEST(FirstSolution, AnomalyRatioVariesWithMachineSize) {
+  // Rao & Kumar: first-solution parallel search can expand more or fewer
+  // nodes than P distinct serial searches would predict.  We only assert
+  // the mechanism: parallel first-solution work differs from serial
+  // first-solution work and is bounded by the exhaustive tree.
+  const auto& wl = puzzle::test_workloads()[2];
+  const FifteenPuzzle problem(wl.board());
+  const auto serial = search::serial_first_solution(
+      problem, problem.root(), wl.solution_length);
+  const auto exhaustive =
+      search::serial_dfs(problem, problem.root(), wl.solution_length);
+  for (const std::uint32_t p : {16u, 256u}) {
+    simd::Machine machine(p, simd::cm2_cost_model());
+    Engine<FifteenPuzzle> engine(problem, machine, gp_dk());
+    const IterationStats it = engine.run_first_solution(wl.solution_length);
+    EXPECT_GE(it.goals_found, 1u);
+    EXPECT_LE(it.nodes_expanded, exhaustive.nodes_expanded);
+    EXPECT_GT(it.nodes_expanded, 0u);
+  }
+  EXPECT_LE(serial.nodes_expanded, exhaustive.nodes_expanded);
+}
+
+TEST(BranchAndBound, EmptyProblemBehavesSanely) {
+  const tsp::Tsp t(1, 3);
+  simd::Machine machine(8, simd::cm2_cost_model());
+  Engine<tsp::Tsp> engine(t, machine, gp_dk());
+  const auto result = engine.run_branch_and_bound();
+  EXPECT_EQ(result.best, 0);
+}
+
+TEST(BranchAndBound, TightensAcrossCycles) {
+  const tsp::Tsp t(10, 21);
+  simd::Machine machine(64, simd::cm2_cost_model());
+  Engine<tsp::Tsp> engine(t, machine, gp_dk());
+  const auto bnb = engine.run_branch_and_bound();
+  EXPECT_EQ(bnb.best, t.brute_force_optimal());
+
+  // Branch and bound beats the same engine running exhaustively unbounded.
+  const IterationStats exhaustive = engine.run_iteration(search::kUnbounded);
+  EXPECT_LT(bnb.stats.nodes_expanded, exhaustive.nodes_expanded);
+}
+
+TEST(BranchAndBound, RespectsInitialBound) {
+  const tsp::Tsp t(9, 33);
+  const auto opt = t.brute_force_optimal();
+  simd::Machine machine(32, simd::cm2_cost_model());
+  Engine<tsp::Tsp> engine(t, machine, gp_static(0.8));
+  EXPECT_EQ(engine.run_branch_and_bound(opt).best, opt);
+  EXPECT_EQ(engine.run_branch_and_bound(opt - 1).best, search::kUnbounded);
+}
+
+}  // namespace
+}  // namespace simdts::lb

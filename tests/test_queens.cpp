@@ -1,0 +1,93 @@
+#include "queens/queens.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "search/serial.hpp"
+
+namespace simdts::queens {
+namespace {
+
+TEST(Queens, RejectsBadSizes) {
+  EXPECT_THROW(Queens(0), std::invalid_argument);
+  EXPECT_THROW(Queens(17), std::invalid_argument);
+}
+
+TEST(Queens, RootIsEmptyBoard) {
+  const Queens q(8);
+  const auto r = q.root();
+  EXPECT_EQ(r.cols, 0u);
+  EXPECT_EQ(r.row, 0);
+  EXPECT_FALSE(q.is_goal(r));
+}
+
+TEST(Queens, FirstRowHasNChildren) {
+  const Queens q(8);
+  std::vector<Queens::Node> out;
+  search::NextBound nb;
+  q.expand(q.root(), search::kUnbounded, out, nb);
+  EXPECT_EQ(out.size(), 8u);
+}
+
+TEST(Queens, ChildrenExcludeAttackedSquares) {
+  const Queens q(4);
+  std::vector<Queens::Node> level1;
+  search::NextBound nb;
+  q.expand(q.root(), search::kUnbounded, level1, nb);
+  ASSERT_EQ(level1.size(), 4u);
+  // After placing in column 0 of row 0, row 1 forbids columns 0 and 1.
+  std::vector<Queens::Node> level2;
+  q.expand(level1[0], search::kUnbounded, level2, nb);
+  EXPECT_EQ(level2.size(), 2u);
+  for (const auto& n : level2) {
+    EXPECT_EQ(n.cols & 1u, 1u);       // column 0 still occupied
+    EXPECT_EQ(n.row, 2);
+  }
+}
+
+TEST(Queens, GoalAtFullDepthOnly) {
+  const Queens q(1);
+  std::vector<Queens::Node> out;
+  search::NextBound nb;
+  q.expand(q.root(), search::kUnbounded, out, nb);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_TRUE(q.is_goal(out[0]));
+}
+
+TEST(Queens, KnownSolutionTable) {
+  EXPECT_EQ(Queens::known_solutions(1), 1u);
+  EXPECT_EQ(Queens::known_solutions(4), 2u);
+  EXPECT_EQ(Queens::known_solutions(8), 92u);
+  EXPECT_EQ(Queens::known_solutions(12), 14200u);
+  EXPECT_THROW((void)Queens::known_solutions(0), std::invalid_argument);
+  EXPECT_THROW((void)Queens::known_solutions(16), std::invalid_argument);
+}
+
+TEST(Queens, GoalNodesAreDistinctPlacements) {
+  const Queens q(5);
+  // Collect goal column sets via serial DFS on the raw interface.
+  std::vector<Queens::Node> stack{q.root()};
+  std::multiset<std::uint32_t> goals;
+  std::vector<Queens::Node> children;
+  search::NextBound nb;
+  while (!stack.empty()) {
+    const auto n = stack.back();
+    stack.pop_back();
+    if (q.is_goal(n)) {
+      goals.insert(n.cols);
+      continue;
+    }
+    children.clear();
+    q.expand(n, search::kUnbounded, children, nb);
+    stack.insert(stack.end(), children.begin(), children.end());
+  }
+  EXPECT_EQ(goals.size(), 10u);
+  // Every goal uses all 5 columns.
+  for (const auto cols : goals) {
+    EXPECT_EQ(cols, 0b11111u);
+  }
+}
+
+}  // namespace
+}  // namespace simdts::queens

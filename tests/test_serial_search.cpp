@@ -1,0 +1,122 @@
+#include "search/serial.hpp"
+
+#include <gtest/gtest.h>
+
+#include "puzzle/fifteen.hpp"
+#include "puzzle/instances.hpp"
+#include "queens/queens.hpp"
+#include "search/bound.hpp"
+
+namespace simdts {
+namespace {
+
+using puzzle::Board;
+using puzzle::FifteenPuzzle;
+using search::kUnbounded;
+using search::serial_dfs;
+using search::serial_ida;
+
+TEST(SerialIda, GoalInstanceSolvesImmediately) {
+  const FifteenPuzzle p(Board::goal());
+  const auto r = serial_ida(p);
+  EXPECT_EQ(r.solution_bound, 0);
+  EXPECT_EQ(r.goals_found, 1u);
+  EXPECT_EQ(r.iterations.size(), 1u);
+}
+
+class EasyInstances : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(EasyInstances, OptimalLengthIsExact) {
+  const auto& inst = puzzle::easy_instances()[GetParam()];
+  const FifteenPuzzle p(inst.board());
+  const auto r = serial_ida(p);
+  EXPECT_EQ(r.solution_bound, inst.optimal) << inst.name;
+  EXPECT_GE(r.goals_found, 1u);
+}
+
+TEST_P(EasyInstances, ThresholdsIncreaseByTwo) {
+  // Manhattan parity: successive IDA* thresholds on the 15-puzzle differ by
+  // an even amount (in practice exactly 2 on these instances).
+  const auto& inst = puzzle::easy_instances()[GetParam()];
+  const FifteenPuzzle p(inst.board());
+  const auto r = serial_ida(p);
+  search::Bound prev = p.f_value(p.root());
+  for (std::size_t i = 1; i < r.iterations.size(); ++i) {
+    const search::Bound next = r.iterations[i - 1].next_bound;
+    EXPECT_GT(next, prev);
+    EXPECT_EQ((next - prev) % 2, 0);
+    prev = next;
+  }
+}
+
+TEST_P(EasyInstances, IterationsGrowMonotonically) {
+  const auto& inst = puzzle::easy_instances()[GetParam()];
+  const FifteenPuzzle p(inst.board());
+  const auto r = serial_ida(p);
+  for (std::size_t i = 1; i < r.iterations.size(); ++i) {
+    EXPECT_GE(r.iterations[i].nodes_expanded,
+              r.iterations[i - 1].nodes_expanded)
+        << "IDA* iteration " << i << " searched fewer nodes than " << i - 1;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(All, EasyInstances,
+                         ::testing::Range<std::size_t>(0, 12));
+
+TEST(SerialIda, TotalsAreSumOfIterations) {
+  const auto& inst = puzzle::easy_instances()[9];
+  const FifteenPuzzle p(inst.board());
+  const auto r = serial_ida(p);
+  std::uint64_t sum = 0;
+  for (const auto& it : r.iterations) sum += it.nodes_expanded;
+  EXPECT_EQ(r.total_expanded, sum);
+  EXPECT_EQ(r.final_expanded, r.iterations.back().nodes_expanded);
+}
+
+TEST(SerialIda, BudgetAborts) {
+  const auto inst = puzzle::korf_instances()[0];
+  const FifteenPuzzle p(inst.board());
+  const auto r = serial_ida(p, 1000);
+  EXPECT_EQ(r.solution_bound, kUnbounded);
+  EXPECT_GT(r.total_expanded, 1000u);
+  EXPECT_LT(r.total_expanded, 1000000u);
+}
+
+TEST(SerialDfs, BoundBelowRootFindsNothing) {
+  const auto& inst = puzzle::easy_instances()[5];
+  const FifteenPuzzle p(inst.board());
+  const auto root = p.root();
+  const auto r = serial_dfs(p, root, p.f_value(root) - 2);
+  EXPECT_EQ(r.goals_found, 0u);
+  // Nothing below the bound: the root is expanded, all children pruned.
+  EXPECT_EQ(r.nodes_expanded, 1u);
+  EXPECT_NE(r.next_bound, kUnbounded);
+}
+
+class QueensSizes : public ::testing::TestWithParam<int> {};
+
+TEST_P(QueensSizes, CountsMatchKnownValues) {
+  const queens::Queens q(GetParam());
+  const auto r = serial_dfs(q, q.root(), kUnbounded);
+  EXPECT_EQ(r.goals_found, queens::Queens::known_solutions(GetParam()));
+  EXPECT_EQ(r.next_bound, kUnbounded);
+}
+
+INSTANTIATE_TEST_SUITE_P(Boards, QueensSizes,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9));
+
+TEST(QueensSerial, IdaTerminatesInOneIteration) {
+  const queens::Queens q(6);
+  const auto r = serial_ida(q);
+  EXPECT_EQ(r.iterations.size(), 1u);
+  EXPECT_EQ(r.goals_found, 4u);
+  EXPECT_EQ(r.solution_bound, 0);
+}
+
+TEST(Bound, Describe) {
+  EXPECT_EQ(search::describe(42), "42");
+  EXPECT_EQ(search::describe(kUnbounded), "unbounded");
+}
+
+}  // namespace
+}  // namespace simdts

@@ -1,0 +1,112 @@
+#include "synthetic/tree.hpp"
+
+#include <gtest/gtest.h>
+
+#include "search/serial.hpp"
+#include "synthetic/calibrate.hpp"
+#include "synthetic/workloads.hpp"
+
+namespace simdts::synthetic {
+namespace {
+
+TEST(SyntheticTree, RootIsDeterministicInSeed) {
+  const Tree a(Params{7, 4, 0.3, 20});
+  const Tree b(Params{7, 4, 0.3, 20});
+  const Tree c(Params{8, 4, 0.3, 20});
+  EXPECT_EQ(a.root(), b.root());
+  EXPECT_NE(a.root().id, c.root().id);
+}
+
+TEST(SyntheticTree, ExpansionIsPure) {
+  const Tree t(Params{11, 4, 0.35, 20});
+  std::vector<Tree::Node> a;
+  std::vector<Tree::Node> b;
+  search::NextBound nb;
+  t.expand(t.root(), search::kUnbounded, a, nb);
+  t.expand(t.root(), search::kUnbounded, b, nb);
+  EXPECT_EQ(a, b);
+  EXPECT_FALSE(nb.has_value());
+}
+
+TEST(SyntheticTree, RespectsMaxChildren) {
+  const Tree t(Params{11, 3, 0.9, 20});
+  std::vector<Tree::Node> out;
+  search::NextBound nb;
+  t.expand(t.root(), search::kUnbounded, out, nb);
+  EXPECT_LE(out.size(), 3u);
+}
+
+TEST(SyntheticTree, DepthCutoffStopsGrowth) {
+  const Tree t(Params{11, 4, 0.9, 2});
+  Tree::Node n = t.root();
+  n.depth = 2;
+  std::vector<Tree::Node> out;
+  search::NextBound nb;
+  t.expand(n, search::kUnbounded, out, nb);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(SyntheticTree, ChildrenDescendFromParentDepth) {
+  const Tree t(Params{13, 4, 0.9, 30});
+  std::vector<Tree::Node> out;
+  search::NextBound nb;
+  t.expand(t.root(), search::kUnbounded, out, nb);
+  for (const auto& c : out) {
+    EXPECT_EQ(c.depth, 1);
+  }
+}
+
+TEST(SyntheticTree, NeverAGoal) {
+  const Tree t(Params{17, 4, 0.5, 10});
+  EXPECT_FALSE(t.is_goal(t.root()));
+  EXPECT_EQ(t.f_value(t.root()), 0);
+}
+
+TEST(Measure, MatchesSerialDfs) {
+  const Params p{21, 4, 0.36, 14};
+  const Tree t(p);
+  const auto serial = search::serial_dfs(t, t.root(), search::kUnbounded);
+  EXPECT_EQ(measure(p), serial.nodes_expanded);
+}
+
+TEST(Measure, BudgetClipsOversizedTrees) {
+  // A nearly full 4-ary tree of depth 12 has ~22M nodes; the budget must
+  // stop the measurement early.
+  const Params p{3, 4, 0.999, 12};
+  EXPECT_EQ(measure(p, 5000), 5001u);
+}
+
+TEST(Measure, DeterministicAcrossCalls) {
+  const Params p{99, 4, 0.37, 16};
+  EXPECT_EQ(measure(p), measure(p));
+}
+
+TEST(Calibrate, FindsSeedNearTarget) {
+  Params shape;
+  shape.max_depth = 14;
+  shape.fertility = 0.395;
+  const Calibration c = calibrate_to(1000, shape, 1, 24);
+  ASSERT_GT(c.w, 0u);
+  // Within a factor of 4 of the target (heavy-tailed sizes; the pinned
+  // workloads were chosen from larger scans).
+  EXPECT_GT(c.w, 250u);
+  EXPECT_LT(c.w, 4000u);
+  // And re-measuring the calibrated params reproduces exactly.
+  EXPECT_EQ(measure(c.params), c.w);
+}
+
+TEST(Workloads, PinnedSizesReproduce) {
+  for (const auto& wl : test_workloads()) {
+    EXPECT_EQ(measure(wl.params), wl.w) << wl.name;
+  }
+}
+
+TEST(Workloads, IsoLadderIsAscending) {
+  const auto ws = iso_workloads();
+  for (std::size_t i = 1; i < ws.size(); ++i) {
+    EXPECT_LT(ws[i - 1].w, ws[i].w);
+  }
+}
+
+}  // namespace
+}  // namespace simdts::synthetic

@@ -1,0 +1,87 @@
+#include "analysis/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace simdts::analysis {
+namespace {
+
+TEST(Table, RejectsEmptyHeader) {
+  EXPECT_THROW(Table({}), std::invalid_argument);
+}
+
+TEST(Table, AlignsColumns) {
+  Table t({"name", "value"});
+  t.row().add("a").add(std::uint64_t{12345});
+  t.row().add("longer-name").add(std::uint64_t{1});
+  const std::string s = t.to_string();
+  std::istringstream is(s);
+  std::string line;
+  std::size_t width = 0;
+  while (std::getline(is, line)) {
+    if (width == 0) width = line.size();
+    EXPECT_EQ(line.size(), width) << "ragged line: '" << line << "'";
+  }
+}
+
+TEST(Table, RowOverflowThrows) {
+  Table t({"a", "b"});
+  t.row().add(1).add(2);
+  EXPECT_THROW(t.add(3), std::logic_error);
+}
+
+TEST(Table, IncompleteRowDetectedOnNextRow) {
+  Table t({"a", "b"});
+  t.row().add(1);
+  EXPECT_THROW(t.row(), std::logic_error);
+}
+
+TEST(Table, DoubleFormatting) {
+  Table t({"x"});
+  t.row().add(0.9053, 2);
+  EXPECT_EQ(t.cell(0, 0), "0.91");
+  EXPECT_EQ(format_double(1.0 / 3.0, 3), "0.333");
+}
+
+TEST(Table, CsvRoundTrip) {
+  Table t({"a", "b"});
+  t.row().add("x").add(std::uint64_t{7});
+  t.row().add("y").add(std::uint64_t{8});
+  EXPECT_EQ(t.to_csv(), "a,b\nx,7\ny,8\n");
+}
+
+TEST(Table, CellAccess) {
+  Table t({"a"});
+  t.row().add(42);
+  EXPECT_EQ(t.rows(), 1u);
+  EXPECT_EQ(t.columns(), 1u);
+  EXPECT_EQ(t.cell(0, 0), "42");
+}
+
+TEST(Table, StreamOperatorMatchesToString) {
+  Table t({"a", "b"});
+  t.row().add(1).add(2);
+  std::ostringstream os;
+  os << t;
+  EXPECT_EQ(os.str(), t.to_string());
+}
+
+TEST(WriteFile, CreatesParentDirectories) {
+  const std::filesystem::path dir =
+      std::filesystem::temp_directory_path() / "simdts_test_write";
+  std::filesystem::remove_all(dir);
+  const std::filesystem::path file = dir / "nested" / "out.csv";
+  ASSERT_TRUE(write_file(file.string(), "hello\n"));
+  std::ifstream in(file);
+  std::string content;
+  std::getline(in, content);
+  EXPECT_EQ(content, "hello");
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace simdts::analysis

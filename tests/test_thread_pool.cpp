@@ -1,0 +1,128 @@
+#include "simd/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <mutex>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace simdts::simd {
+namespace {
+
+TEST(ThreadPool, SingleLaneRunsInline) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.size(), 1u);
+  std::vector<int> hits(10, 0);
+  pool.parallel_for(10, [&](std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e; ++i) ++hits[i];
+  });
+  for (int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(ThreadPool, ZeroItemsIsNoop) {
+  ThreadPool pool(4);
+  bool called = false;
+  pool.parallel_for(0, [&](std::size_t, std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+class ThreadPoolLanes : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(ThreadPoolLanes, CoversRangeExactlyOnce) {
+  ThreadPool pool(GetParam());
+  for (std::size_t n : {1ul, 2ul, 7ul, 64ul, 1000ul, 4097ul}) {
+    std::vector<std::atomic<int>> hits(n);
+    pool.parallel_for(n, [&](std::size_t b, std::size_t e) {
+      for (std::size_t i = b; i < e; ++i) {
+        hits[i].fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(hits[i].load(), 1) << "n=" << n << " i=" << i;
+    }
+  }
+}
+
+TEST_P(ThreadPoolLanes, ChunksAreContiguousAndOrdered) {
+  ThreadPool pool(GetParam());
+  const std::size_t n = 1001;
+  std::mutex mu;
+  std::vector<std::pair<std::size_t, std::size_t>> chunks;
+  pool.parallel_for(n, [&](std::size_t b, std::size_t e) {
+    EXPECT_LT(b, e);
+    const std::lock_guard lock(mu);
+    chunks.emplace_back(b, e);
+  });
+  std::sort(chunks.begin(), chunks.end());
+  std::size_t expect = 0;
+  for (const auto& [b, e] : chunks) {
+    EXPECT_EQ(b, expect);
+    expect = e;
+  }
+  EXPECT_EQ(expect, n);
+}
+
+TEST_P(ThreadPoolLanes, SumIsDeterministic) {
+  ThreadPool pool(GetParam());
+  const std::size_t n = 100000;
+  std::vector<std::uint64_t> partial(pool.size() + 1, 0);
+  std::atomic<unsigned> next_slot{0};
+  pool.parallel_for(n, [&](std::size_t b, std::size_t e) {
+    std::uint64_t s = 0;
+    for (std::size_t i = b; i < e; ++i) s += i;
+    partial[next_slot.fetch_add(1)] = s;
+  });
+  const std::uint64_t total =
+      std::accumulate(partial.begin(), partial.end(), std::uint64_t{0});
+  EXPECT_EQ(total, static_cast<std::uint64_t>(n) * (n - 1) / 2);
+}
+
+TEST_P(ThreadPoolLanes, ReusableAcrossManyDispatches) {
+  ThreadPool pool(GetParam());
+  std::atomic<std::uint64_t> sum{0};
+  for (int round = 0; round < 100; ++round) {
+    pool.parallel_for(17, [&](std::size_t b, std::size_t e) {
+      sum.fetch_add(e - b, std::memory_order_relaxed);
+    });
+  }
+  EXPECT_EQ(sum.load(), 1700u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Lanes, ThreadPoolLanes,
+                         ::testing::Values(1u, 2u, 3u, 4u, 8u));
+
+TEST(ThreadPool, PropagatesExceptions) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.parallel_for(100,
+                        [&](std::size_t b, std::size_t) {
+                          if (b == 0) throw std::runtime_error("boom");
+                        }),
+      std::runtime_error);
+  // The pool must still be usable afterwards.
+  std::atomic<int> ok{0};
+  pool.parallel_for(4, [&](std::size_t b, std::size_t e) {
+    ok.fetch_add(static_cast<int>(e - b));
+  });
+  EXPECT_EQ(ok.load(), 4);
+}
+
+TEST(ThreadPool, FewerItemsThanLanes) {
+  ThreadPool pool(8);
+  std::atomic<int> count{0};
+  pool.parallel_for(3, [&](std::size_t b, std::size_t e) {
+    count.fetch_add(static_cast<int>(e - b));
+  });
+  EXPECT_EQ(count.load(), 3);
+}
+
+TEST(ThreadPool, DefaultPicksAtLeastOneLane) {
+  ThreadPool pool(0);
+  EXPECT_GE(pool.size(), 1u);
+}
+
+}  // namespace
+}  // namespace simdts::simd

@@ -1,0 +1,154 @@
+#include "lb/trigger.hpp"
+
+#include <gtest/gtest.h>
+
+namespace simdts::lb {
+namespace {
+
+constexpr double kTExpand = 30.0;
+constexpr double kTLb = 13.0;
+
+Trigger make(TriggerKind kind, std::uint32_t p, double x = 0.75) {
+  SchemeConfig cfg;
+  cfg.trigger = kind;
+  cfg.static_x = x;
+  return Trigger(cfg, p, kTExpand, kTLb);
+}
+
+TEST(StaticTrigger, FiresAtOrBelowThreshold) {
+  Trigger t = make(TriggerKind::kStatic, 100, 0.75);
+  EXPECT_FALSE(t.should_trigger(76, 10));
+  EXPECT_TRUE(t.should_trigger(75, 10));  // A <= xP fires (eq. 1)
+  EXPECT_TRUE(t.should_trigger(1, 99));
+}
+
+TEST(StaticTrigger, IgnoresCycleHistory) {
+  Trigger t = make(TriggerKind::kStatic, 100, 0.5);
+  for (int i = 0; i < 10; ++i) t.note_cycle(40);
+  EXPECT_FALSE(t.should_trigger(51, 0));
+  EXPECT_TRUE(t.should_trigger(50, 0));
+}
+
+TEST(DpTrigger, AccumulatesWorkSurplus) {
+  // P = 4: two cycles at 4 working, then the active count drops to 2.
+  // After each cycle: w += working * 30, t += 30; fire when
+  // w - A*t >= A*L (eq. 3).
+  Trigger t = make(TriggerKind::kDP, 4);
+  t.begin_search_phase();
+  t.note_cycle(4);
+  // w = 120, t = 30, A = 4: 120 - 120 = 0 < 52.
+  EXPECT_FALSE(t.should_trigger(4, 0));
+  t.note_cycle(4);
+  t.note_cycle(2);
+  // w = 300, t = 90, A = 2: 300 - 180 = 120 >= 26.
+  EXPECT_TRUE(t.should_trigger(2, 2));
+}
+
+TEST(DpTrigger, NeverFiresWithOneActiveFromStart) {
+  // The paper's pathological case: if only one processor is ever active,
+  // R1 = w - A*t stays 0 and D^P never triggers (Section 6.1).
+  Trigger t = make(TriggerKind::kDP, 64);
+  t.begin_search_phase();
+  for (int i = 0; i < 10000; ++i) {
+    t.note_cycle(1);
+    ASSERT_FALSE(t.should_trigger(1, 63)) << "cycle " << i;
+  }
+}
+
+TEST(DpTrigger, HighLbCostDelaysTrigger) {
+  SchemeConfig cfg;
+  cfg.trigger = TriggerKind::kDP;
+  Trigger cheap(cfg, 8, kTExpand, kTLb);
+  Trigger expensive(cfg, 8, kTExpand, 16 * kTLb);
+  cheap.begin_search_phase();
+  expensive.begin_search_phase();
+  int cheap_fired_at = -1;
+  int expensive_fired_at = -1;
+  // All 8 PEs work, but only 4 are still splittable: the work surplus over
+  // the active line grows by 120 per cycle.
+  for (int i = 0; i < 200; ++i) {
+    cheap.note_cycle(8);
+    expensive.note_cycle(8);
+    if (cheap_fired_at < 0 && cheap.should_trigger(4, 4)) cheap_fired_at = i;
+    if (expensive_fired_at < 0 && expensive.should_trigger(4, 4)) {
+      expensive_fired_at = i;
+    }
+  }
+  ASSERT_GE(cheap_fired_at, 0);
+  ASSERT_GE(expensive_fired_at, 0);
+  EXPECT_LT(cheap_fired_at, expensive_fired_at);
+}
+
+TEST(DkTrigger, FiresWhenIdleTimeReachesLbCost) {
+  // P = 10, L = 13: w_idle accumulates (P - working) * 30 per cycle and
+  // fires at w_idle >= L * P = 130 (eq. 4).
+  Trigger t = make(TriggerKind::kDK, 10);
+  t.begin_search_phase();
+  t.note_cycle(8);  // w_idle = 60
+  EXPECT_FALSE(t.should_trigger(8, 2));
+  t.note_cycle(8);  // w_idle = 120
+  EXPECT_FALSE(t.should_trigger(8, 2));
+  t.note_cycle(8);  // w_idle = 180 >= 130
+  EXPECT_TRUE(t.should_trigger(8, 2));
+  EXPECT_DOUBLE_EQ(t.idle_integral(), 180.0);
+}
+
+TEST(DkTrigger, FiresEvenWithOneActiveProcessor) {
+  // Unlike D^P, D^K fires quickly when nearly everyone idles.
+  Trigger t = make(TriggerKind::kDK, 64);
+  t.begin_search_phase();
+  int fired_at = -1;
+  for (int i = 0; i < 100; ++i) {
+    t.note_cycle(1);
+    if (t.should_trigger(1, 63)) {
+      fired_at = i;
+      break;
+    }
+  }
+  EXPECT_GE(fired_at, 0);
+  EXPECT_LT(fired_at, 2);  // 63 idle * 30 per cycle vs 13 * 64 = 832
+}
+
+TEST(DkTrigger, FullyBusyNeverFires) {
+  Trigger t = make(TriggerKind::kDK, 16);
+  t.begin_search_phase();
+  for (int i = 0; i < 1000; ++i) {
+    t.note_cycle(16);
+    ASSERT_FALSE(t.should_trigger(16, 0));
+  }
+}
+
+TEST(Trigger, BeginSearchPhaseResetsIntegrals) {
+  Trigger t = make(TriggerKind::kDK, 10);
+  t.begin_search_phase();
+  t.note_cycle(2);
+  EXPECT_GT(t.idle_integral(), 0.0);
+  EXPECT_GT(t.work_integral(), 0.0);
+  t.begin_search_phase();
+  EXPECT_DOUBLE_EQ(t.idle_integral(), 0.0);
+  EXPECT_DOUBLE_EQ(t.work_integral(), 0.0);
+}
+
+TEST(Trigger, LbCostEstimateFollowsMeasurements) {
+  Trigger t = make(TriggerKind::kDK, 10);
+  EXPECT_DOUBLE_EQ(t.lb_cost_estimate(), kTLb);
+  t.note_lb_cost(52.0);  // e.g. a 4-round phase
+  EXPECT_DOUBLE_EQ(t.lb_cost_estimate(), 52.0);
+  t.note_lb_cost(0.0);  // bogus measurement ignored
+  EXPECT_DOUBLE_EQ(t.lb_cost_estimate(), 52.0);
+}
+
+TEST(AnyIdleTrigger, FiresOnFirstIdleProcessor) {
+  Trigger t = make(TriggerKind::kAnyIdle, 10);
+  EXPECT_FALSE(t.should_trigger(10, 0));
+  EXPECT_TRUE(t.should_trigger(9, 1));
+}
+
+TEST(EveryCycleTrigger, AlwaysFires) {
+  Trigger t = make(TriggerKind::kEveryCycle, 10);
+  EXPECT_TRUE(t.should_trigger(10, 0));
+  EXPECT_TRUE(t.should_trigger(0, 10));
+}
+
+}  // namespace
+}  // namespace simdts::lb

@@ -1,0 +1,157 @@
+#include "tsp/tsp.hpp"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "lb/engine.hpp"
+#include "search/serial.hpp"
+
+namespace simdts::tsp {
+namespace {
+
+using search::kUnbounded;
+
+TEST(Tsp, RejectsBadArguments) {
+  EXPECT_THROW(Tsp(0, 1), std::invalid_argument);
+  EXPECT_THROW(Tsp(17, 1), std::invalid_argument);
+  EXPECT_THROW(Tsp(3, std::vector<std::int32_t>{1, 2}), std::invalid_argument);
+  // Asymmetric matrix.
+  EXPECT_THROW(Tsp(2, std::vector<std::int32_t>{0, 1, 2, 0}),
+               std::invalid_argument);
+  // Non-zero diagonal.
+  EXPECT_THROW(Tsp(2, std::vector<std::int32_t>{1, 5, 5, 0}),
+               std::invalid_argument);
+}
+
+TEST(Tsp, DistancesAreSymmetricAndSeeded) {
+  const Tsp a(8, 42);
+  const Tsp b(8, 42);
+  const Tsp c(8, 43);
+  bool any_diff = false;
+  for (int i = 0; i < 8; ++i) {
+    for (int j = 0; j < 8; ++j) {
+      EXPECT_EQ(a.distance(i, j), a.distance(j, i));
+      EXPECT_EQ(a.distance(i, j), b.distance(i, j));
+      if (a.distance(i, j) != c.distance(i, j)) any_diff = true;
+    }
+  }
+  EXPECT_TRUE(any_diff);
+  EXPECT_EQ(a.distance(3, 3), 0);
+}
+
+TEST(Tsp, ExplicitMatrixRoundTrip) {
+  // A 4-city square: side 1, diagonal 2; optimal tour follows the sides.
+  const std::vector<std::int32_t> square{
+      0, 1, 2, 1,
+      1, 0, 1, 2,
+      2, 1, 0, 1,
+      1, 2, 1, 0};
+  const Tsp t(4, square);
+  EXPECT_EQ(t.brute_force_optimal(), 4);
+  const auto bnb = search::serial_branch_and_bound(t);
+  EXPECT_EQ(bnb.best, 4);
+}
+
+TEST(Tsp, RootAtCityZero) {
+  const Tsp t(6, 1);
+  const auto root = t.root();
+  EXPECT_EQ(root.last, 0);
+  EXPECT_EQ(root.count, 1);
+  EXPECT_EQ(root.cost, 0);
+  EXPECT_FALSE(t.is_goal(root));
+}
+
+TEST(Tsp, SingleCityIsTrivial) {
+  const Tsp t(1, 9);
+  EXPECT_TRUE(t.is_goal(t.root()));
+  EXPECT_EQ(t.f_value(t.root()), 0);
+  EXPECT_EQ(t.brute_force_optimal(), 0);
+}
+
+TEST(Tsp, LowerBoundIsAdmissibleAlongPaths) {
+  const Tsp t(9, 7);
+  // Walk random DFS paths; f may fluctuate but must never exceed the cost
+  // of any completion — check against the brute-force optimum at the root.
+  EXPECT_LE(t.f_value(t.root()), t.brute_force_optimal());
+  // And goals carry exactly their tour cost.
+  std::vector<Tsp::Node> stack{t.root()};
+  search::NextBound next;
+  std::vector<Tsp::Node> children;
+  std::int32_t best_seen = INT32_MAX;
+  while (!stack.empty()) {
+    const auto n = stack.back();
+    stack.pop_back();
+    if (t.is_goal(n)) {
+      best_seen = std::min(best_seen, n.cost);
+      EXPECT_EQ(t.f_value(n), n.cost);
+      continue;
+    }
+    children.clear();
+    t.expand(n, kUnbounded, children, next);
+    // Root-level admissibility for every prefix: f <= best completion.
+    stack.insert(stack.end(), children.begin(), children.end());
+  }
+  EXPECT_EQ(best_seen, t.brute_force_optimal());
+}
+
+class TspInstances
+    : public ::testing::TestWithParam<std::tuple<int, std::uint64_t>> {};
+
+TEST_P(TspInstances, SerialBnbMatchesBruteForce) {
+  const auto [n, seed] = GetParam();
+  const Tsp t(n, seed);
+  const auto bnb = search::serial_branch_and_bound(t);
+  EXPECT_EQ(bnb.best, t.brute_force_optimal());
+  EXPECT_GE(bnb.goals_found, 1u);
+}
+
+TEST_P(TspInstances, ParallelBnbMatchesBruteForce) {
+  const auto [n, seed] = GetParam();
+  const Tsp t(n, seed);
+  for (const std::uint32_t p : {4u, 64u}) {
+    simd::Machine machine(p, simd::cm2_cost_model());
+    lb::Engine<Tsp> engine(t, machine, lb::gp_dk());
+    const auto result = engine.run_branch_and_bound();
+    EXPECT_EQ(result.best, t.brute_force_optimal()) << "P=" << p;
+  }
+}
+
+TEST_P(TspInstances, BnbPrunesAgainstExhaustive) {
+  const auto [n, seed] = GetParam();
+  const Tsp t(n, seed);
+  const auto exhaustive = search::serial_dfs(t, t.root(), kUnbounded);
+  const auto bnb = search::serial_branch_and_bound(t);
+  EXPECT_LT(bnb.nodes_expanded, exhaustive.nodes_expanded);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SizesAndSeeds, TspInstances,
+    ::testing::Combine(::testing::Values(5, 7, 9, 10),
+                       ::testing::Values(1u, 2u, 3u)));
+
+TEST(Tsp, ParallelBnbConsistentAcrossSchemes) {
+  const Tsp t(11, 5);
+  const auto expected = search::serial_branch_and_bound(t).best;
+  for (const auto& cfg :
+       {lb::gp_static(0.75), lb::ngp_static(0.9), lb::gp_dp()}) {
+    simd::Machine machine(32, simd::cm2_cost_model());
+    lb::Engine<Tsp> engine(t, machine, cfg);
+    EXPECT_EQ(engine.run_branch_and_bound().best, expected) << cfg.name();
+  }
+}
+
+TEST(Tsp, InitialBoundPrunesHarder) {
+  const Tsp t(10, 11);
+  const auto opt = t.brute_force_optimal();
+  const auto loose = search::serial_branch_and_bound(t);
+  const auto tight = search::serial_branch_and_bound(t, opt);
+  EXPECT_EQ(tight.best, opt);
+  EXPECT_LE(tight.nodes_expanded, loose.nodes_expanded);
+  // An initial bound below the optimum finds nothing.
+  const auto impossible = search::serial_branch_and_bound(t, opt - 1);
+  EXPECT_EQ(impossible.best, search::kUnbounded);
+}
+
+}  // namespace
+}  // namespace simdts::tsp

@@ -1,0 +1,80 @@
+#include "search/work_stack.hpp"
+
+#include <gtest/gtest.h>
+
+namespace simdts::search {
+namespace {
+
+TEST(WorkStack, StartsEmpty) {
+  WorkStack<int> s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.size(), 0u);
+  EXPECT_FALSE(s.splittable());
+}
+
+TEST(WorkStack, LifoOrder) {
+  WorkStack<int> s;
+  s.push(1);
+  s.push(2);
+  s.push(3);
+  EXPECT_EQ(s.pop(), 3);
+  EXPECT_EQ(s.pop(), 2);
+  EXPECT_EQ(s.pop(), 1);
+  EXPECT_TRUE(s.empty());
+}
+
+TEST(WorkStack, SplittableNeedsTwoNodes) {
+  WorkStack<int> s;
+  s.push(1);
+  EXPECT_FALSE(s.splittable());
+  s.push(2);
+  EXPECT_TRUE(s.splittable());
+  s.pop();
+  EXPECT_FALSE(s.splittable());
+}
+
+TEST(WorkStack, BottomIsOldestEntry) {
+  WorkStack<int> s;
+  s.push(10);
+  s.push(20);
+  s.push(30);
+  EXPECT_EQ(s.bottom(), 10);
+  EXPECT_EQ(s.top(), 30);
+  EXPECT_EQ(s.take_bottom(), 10);
+  EXPECT_EQ(s.bottom(), 20);
+  EXPECT_EQ(s.size(), 2u);
+}
+
+TEST(WorkStack, InterleavedPushPopTakeBottom) {
+  WorkStack<int> s;
+  for (int i = 0; i < 6; ++i) s.push(i);
+  EXPECT_EQ(s.take_bottom(), 0);
+  EXPECT_EQ(s.pop(), 5);
+  s.push(99);
+  EXPECT_EQ(s.pop(), 99);
+  EXPECT_EQ(s.take_bottom(), 1);
+  EXPECT_EQ(s.size(), 3u);  // 2, 3, 4 remain
+  EXPECT_EQ(s.bottom(), 2);
+  EXPECT_EQ(s.top(), 4);
+}
+
+TEST(WorkStack, ClearEmpties) {
+  WorkStack<int> s;
+  s.push(1);
+  s.push(2);
+  s.clear();
+  EXPECT_TRUE(s.empty());
+}
+
+TEST(WorkStack, MoveOnlyPayload) {
+  WorkStack<std::unique_ptr<int>> s;
+  s.push(std::make_unique<int>(5));
+  s.push(std::make_unique<int>(6));
+  auto p = s.pop();
+  EXPECT_EQ(*p, 6);
+  auto q = s.take_bottom();
+  EXPECT_EQ(*q, 5);
+}
+
+}  // namespace
+}  // namespace simdts::search

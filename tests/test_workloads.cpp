@@ -1,0 +1,112 @@
+#include "puzzle/workloads.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "puzzle/fifteen.hpp"
+#include "puzzle/heuristic.hpp"
+#include "puzzle/instances.hpp"
+#include "search/serial.hpp"
+
+namespace simdts::puzzle {
+namespace {
+
+bool heavy_tests() { return std::getenv("SIMDTS_HEAVY_TESTS") != nullptr; }
+
+std::vector<PuzzleWorkload> all_workloads() {
+  std::vector<PuzzleWorkload> all(paper_workloads().begin(),
+                                  paper_workloads().end());
+  all.push_back(table5_workload());
+  all.insert(all.end(), test_workloads().begin(), test_workloads().end());
+  return all;
+}
+
+TEST(Workloads, AllBoardsSolvable) {
+  for (const auto& wl : all_workloads()) {
+    EXPECT_TRUE(wl.board().solvable()) << wl.name;
+  }
+}
+
+TEST(Workloads, PinnedSolutionLengthsAreConsistent) {
+  for (const auto& wl : all_workloads()) {
+    const int h = manhattan(wl.board());
+    EXPECT_LE(h, wl.solution_length) << wl.name << ": h must be admissible";
+    EXPECT_EQ(h % 2, wl.solution_length % 2)
+        << wl.name << ": parity invariant violated";
+    EXPECT_LE(wl.solution_length, wl.walk_steps)
+        << wl.name << ": a k-step scramble solves in at most k moves";
+    EXPECT_LE(wl.serial_final, wl.serial_total) << wl.name;
+    EXPECT_GE(wl.goals, 1u) << wl.name;
+  }
+}
+
+TEST(Workloads, PaperStandInsAreWithinTolerance) {
+  for (const auto& wl : paper_workloads()) {
+    ASSERT_GT(wl.paper_w, 0u) << wl.name;
+    const double ratio = static_cast<double>(wl.serial_total) /
+                         static_cast<double>(wl.paper_w);
+    EXPECT_GT(ratio, 0.7) << wl.name;
+    EXPECT_LT(ratio, 1.4) << wl.name;
+  }
+}
+
+TEST(Workloads, OrderedByProblemSize) {
+  const auto ws = paper_workloads();
+  for (std::size_t i = 1; i < ws.size(); ++i) {
+    EXPECT_LT(ws[i - 1].serial_total, ws[i].serial_total);
+  }
+}
+
+class SmallWorkloads : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(SmallWorkloads, PinnedMeasurementsReproduce) {
+  const auto& wl = test_workloads()[GetParam()];
+  const FifteenPuzzle problem(wl.board());
+  const auto r = search::serial_ida(problem);
+  EXPECT_EQ(r.total_expanded, wl.serial_total) << wl.name;
+  EXPECT_EQ(r.final_expanded, wl.serial_final) << wl.name;
+  EXPECT_EQ(r.solution_bound, wl.solution_length) << wl.name;
+  EXPECT_EQ(r.goals_found, wl.goals) << wl.name;
+}
+
+// The first four test workloads (up to ~100k nodes) verify in well under a
+// second each; t-326k is also fine.
+INSTANTIATE_TEST_SUITE_P(Pinned, SmallWorkloads,
+                         ::testing::Range<std::size_t>(0, 5));
+
+TEST(Workloads, HeavyPinnedMeasurementsReproduce) {
+  if (!heavy_tests()) {
+    GTEST_SKIP() << "set SIMDTS_HEAVY_TESTS=1 to re-verify the large pins";
+  }
+  std::vector<PuzzleWorkload> big(paper_workloads().begin(),
+                                  paper_workloads().end());
+  big.push_back(table5_workload());
+  for (const auto& wl : big) {
+    const FifteenPuzzle problem(wl.board());
+    const auto r = search::serial_ida(problem);
+    EXPECT_EQ(r.total_expanded, wl.serial_total) << wl.name;
+    EXPECT_EQ(r.final_expanded, wl.serial_final) << wl.name;
+    EXPECT_EQ(r.solution_bound, wl.solution_length) << wl.name;
+    EXPECT_EQ(r.goals_found, wl.goals) << wl.name;
+  }
+}
+
+TEST(Instances, KorfBoardsAreSolvable) {
+  for (const auto& inst : korf_instances()) {
+    EXPECT_TRUE(inst.board().solvable()) << inst.name;
+    EXPECT_EQ(manhattan(inst.board()) % 2, inst.optimal % 2) << inst.name;
+  }
+}
+
+TEST(Instances, EasyInstancesAreDistinct) {
+  const auto easy = easy_instances();
+  for (std::size_t i = 0; i < easy.size(); ++i) {
+    for (std::size_t j = i + 1; j < easy.size(); ++j) {
+      EXPECT_NE(easy[i].board(), easy[j].board());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace simdts::puzzle

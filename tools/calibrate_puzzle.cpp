@@ -1,0 +1,94 @@
+// Calibration of 15-puzzle workloads.
+//
+// Scans seeded random-walk instances, measures each one's serial IDA* tree
+// size W, and prints, for every target W from the paper's tables, the
+// closest candidate as a ready-to-paste PuzzleWorkload initializer for
+// src/puzzle/workloads.cpp.
+//
+// Usage: calibrate_puzzle [seed_base] [candidates] [walk_steps]
+#include <cmath>
+#include <cstdint>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "puzzle/board.hpp"
+#include "puzzle/fifteen.hpp"
+#include "puzzle/workloads.hpp"
+#include "search/serial.hpp"
+
+namespace {
+
+struct Candidate {
+  std::uint64_t seed;
+  simdts::search::SerialIdaResult result;
+};
+
+void print_workload(const std::string& name, const Candidate& c,
+                    std::uint64_t paper_w, int walk_steps) {
+  std::cout << "    {\"" << name << "\", " << c.seed << ", " << walk_steps
+            << ", " << paper_w << ", " << c.result.total_expanded << ", "
+            << c.result.final_expanded << ", " << c.result.solution_bound
+            << ", " << c.result.goals_found << "},\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace simdts;
+  const std::uint64_t seed_base =
+      argc > 1 ? std::stoull(argv[1]) : 202607ULL;
+  const int candidates = argc > 2 ? std::stoi(argv[2]) : 64;
+  const int walk_steps = argc > 3 ? std::stoi(argv[3]) : 120;
+  // Paper W values (Table 2 and Table 5) plus a small ladder for tests.
+  const std::uint64_t targets[] = {941852,  2067137, 3055171, 6073623,
+                                   16110463};
+  const std::uint64_t test_targets[] = {2000, 20000, 80000, 300000};
+
+  const std::uint64_t budget = 40000000;  // reject monsters early
+  std::vector<Candidate> pool;
+  for (int i = 0; i < candidates; ++i) {
+    const std::uint64_t seed = seed_base + static_cast<std::uint64_t>(i);
+    const puzzle::Board board = puzzle::random_walk(seed, walk_steps);
+    const puzzle::FifteenPuzzle problem(board);
+    auto result = search::serial_ida(problem, budget);
+    if (result.solution_bound == search::kUnbounded) {
+      std::cout << "# seed " << seed << ": over budget, skipped\n";
+      continue;
+    }
+    std::cout << "# seed " << seed << ": W=" << result.total_expanded
+              << " final=" << result.final_expanded
+              << " len=" << result.solution_bound
+              << " goals=" << result.goals_found << '\n';
+    pool.push_back(Candidate{seed, std::move(result)});
+  }
+
+  auto pick = [&](std::uint64_t target) -> const Candidate* {
+    const Candidate* best = nullptr;
+    double best_err = 1e300;
+    for (const auto& c : pool) {
+      const double err = std::abs(
+          std::log(static_cast<double>(c.result.total_expanded)) -
+          std::log(static_cast<double>(target)));
+      if (err < best_err) {
+        best_err = err;
+        best = &c;
+      }
+    }
+    return best;
+  };
+
+  std::cout << "\n// ---- paper workloads ----\n";
+  for (const std::uint64_t t : targets) {
+    if (const Candidate* c = pick(t)) {
+      print_workload("w-" + std::to_string(t), *c, t, walk_steps);
+    }
+  }
+  std::cout << "\n// ---- test workloads ----\n";
+  for (const std::uint64_t t : test_targets) {
+    if (const Candidate* c = pick(t)) {
+      print_workload("t-" + std::to_string(t), *c, 0, walk_steps);
+    }
+  }
+  return 0;
+}

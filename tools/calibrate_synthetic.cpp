@@ -1,0 +1,52 @@
+// Calibration of synthetic-tree workloads: for every target W, scans seeds
+// and prints a ready-to-paste SyntheticWorkload initializer for
+// src/synthetic/workloads.cpp.
+//
+// Usage: calibrate_synthetic [seed_base] [attempts]
+#include <cstdint>
+#include <iostream>
+#include <string>
+
+#include "synthetic/calibrate.hpp"
+
+int main(int argc, char** argv) {
+  using namespace simdts;
+  const std::uint64_t seed_base = argc > 1 ? std::stoull(argv[1]) : 9000ULL;
+  const std::uint32_t attempts =
+      argc > 2 ? static_cast<std::uint32_t>(std::stoul(argv[2])) : 48;
+
+  struct Target {
+    const char* prefix;
+    std::uint64_t w;
+    std::uint16_t depth;
+    double fertility;
+    std::uint32_t attempts_override;  // 0: use the command-line value
+  };
+  // Depth grows with target size so trees stay deep and narrow enough to be
+  // interestingly irregular at every scale; fertility is set so the expected
+  // size (mean branching ~ 4 * fertility, capped at the depth) lands near the
+  // target, and the seed scan does the rest.
+  const Target targets[] = {
+      {"syn", 1000, 14, 0.395, 0},     {"syn", 10000, 18, 0.400, 0},
+      {"syn", 100000, 24, 0.388, 0},   {"syn", 400000, 28, 0.380, 0},
+      {"syn", 1500000, 32, 0.380, 0},  {"syn", 6000000, 36, 0.375, 0},
+      {"syn", 20000000, 40, 0.375, 16}, {"syn", 60000000, 44, 0.372, 10},
+  };
+
+  std::cout << "// ---- synthetic workloads ----\n";
+  for (const auto& t : targets) {
+    synthetic::Params shape;
+    shape.max_depth = t.depth;
+    shape.fertility = t.fertility;
+    const std::uint32_t n =
+        t.attempts_override != 0 ? t.attempts_override : attempts;
+    const synthetic::Calibration c =
+        synthetic::calibrate_to(t.w, shape, seed_base, n);
+    std::cout << "    {\"" << t.prefix << '-' << t.w << "\", Params{"
+              << c.params.seed << ", " << c.params.max_children << ", "
+              << c.params.fertility << ", " << c.params.max_depth << "}, "
+              << c.w << "},\n";
+    std::cout.flush();
+  }
+  return 0;
+}

@@ -1,0 +1,36 @@
+// Raw seed scan for synthetic trees: prints the measured W for each seed at
+// a fixed shape, so a workload can be picked by eye.
+//
+// Usage: scan_synthetic <depth> <fertility> <seed_base> <count> [budget]
+#include <cstdint>
+#include <iostream>
+#include <string>
+
+#include "synthetic/calibrate.hpp"
+
+int main(int argc, char** argv) {
+  using namespace simdts;
+  if (argc < 5) {
+    std::cerr << "usage: scan_synthetic <depth> <fertility> <seed_base> "
+                 "<count> [budget]\n";
+    return 1;
+  }
+  synthetic::Params shape;
+  shape.max_depth = static_cast<std::uint16_t>(std::stoi(argv[1]));
+  shape.fertility = std::stod(argv[2]);
+  const std::uint64_t seed_base = std::stoull(argv[3]);
+  const int count = std::stoi(argv[4]);
+  const std::uint64_t budget = argc > 5 ? std::stoull(argv[5]) : 50000000ULL;
+
+  for (int i = 0; i < count; ++i) {
+    synthetic::Params p = shape;
+    p.seed = seed_base + static_cast<std::uint64_t>(i);
+    const std::uint64_t w = synthetic::measure(p, budget);
+    std::cout << "seed=" << p.seed << " depth=" << p.max_depth
+              << " fertility=" << p.fertility << " W="
+              << (w == budget + 1 ? std::string("over-budget")
+                                  : std::to_string(w))
+              << std::endl;
+  }
+  return 0;
+}
