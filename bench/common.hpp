@@ -6,9 +6,10 @@
 // paper-vs-measured table, and emit a CSV artifact.
 //
 // Environment knobs:
-//   SIMDTS_QUICK     reduced scale (smaller machine, fewer workloads)
-//   SIMDTS_P         override the machine size
-//   SIMDTS_OUT_DIR   CSV output directory (default bench_out/)
+//   SIMDTS_QUICK          reduced scale (smaller machine, fewer workloads)
+//   SIMDTS_P              override the machine size
+//   SIMDTS_OUT_DIR        CSV output directory (default bench_out/)
+//   SIMDTS_SWEEP_THREADS  host threads for the parallel sweep runner
 #pragma once
 
 #include <cstdint>
@@ -20,6 +21,7 @@
 #include "lb/engine.hpp"
 #include "puzzle/fifteen.hpp"
 #include "puzzle/workloads.hpp"
+#include "runtime/sweep.hpp"
 #include "simd/cost_model.hpp"
 #include "simd/machine.hpp"
 
@@ -68,6 +70,29 @@ inline lb::RunStats run_puzzle_ida(const puzzle::PuzzleWorkload& wl,
   simd::Machine machine(p, cost);
   lb::Engine<puzzle::FifteenPuzzle> engine(problem, machine, cfg);
   return engine.run();
+}
+
+/// One cell of a table sweep: a (workload, scheme, machine size) run.
+struct PuzzleRun {
+  const puzzle::PuzzleWorkload* workload = nullptr;
+  lb::SchemeConfig cfg;
+  std::uint32_t p = 0;
+  simd::CostModel cost = simd::cm2_cost_model();
+};
+
+/// Runs every cell concurrently via the sweep runner and returns the stats
+/// in input order — each run owns a private Machine, and the results land in
+/// pre-assigned slots, so the table a driver prints from them is
+/// byte-identical to the serial loop it replaces.
+inline std::vector<lb::IterationStats> run_puzzle_sweep(
+    std::span<const PuzzleRun> runs, unsigned threads = 0) {
+  return runtime::sweep_map<lb::IterationStats>(
+      runs.size(),
+      [&](std::size_t i) {
+        const PuzzleRun& r = runs[i];
+        return run_puzzle(*r.workload, r.p, r.cfg, r.cost);
+      },
+      threads);
 }
 
 /// The CM-2 t_lb / U_calc ratio used by the analytic-trigger columns.

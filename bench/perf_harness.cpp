@@ -1,0 +1,181 @@
+// Wall-clock perf harness: times representative sweeps and the engine inner
+// loop, and emits BENCH_engine.json so every future PR has a perf
+// trajectory to compare against.
+//
+// What it measures (all deterministic simulations — only the wall clock
+// varies between hosts):
+//   - sweep scaling: the Figure 4a GP-S^0.90 isoefficiency grid run through
+//     the parallel sweep runner at 1, 2, 4 and 8 host threads (clamped to
+//     the grid size); speedup is wall(1 thread) / wall(t threads).
+//   - engine throughput: one large single-machine run, reported as expanded
+//     nodes per second of host time (the per-cycle hot path: pop/expand,
+//     incremental census, matching, transfers).
+//
+// The simulated results (counts, clocks, CSVs) are asserted identical across
+// thread counts before anything is written — a speedup obtained by changing
+// the answer is a bug, not a result.
+//
+// Environment knobs:
+//   SIMDTS_QUICK        reduced scale (the tier-1-friendly configuration)
+//   SIMDTS_BENCH_JSON   output path (default BENCH_engine.json)
+//   SIMDTS_BENCH_REPS   timing repetitions, best-of is reported (default 1)
+#include <chrono>
+#include <cstdio>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis/isoefficiency.hpp"
+#include "iso_common.hpp"
+#include "lb/engine.hpp"
+#include "runtime/sweep.hpp"
+#include "synthetic/tree.hpp"
+
+namespace {
+
+using namespace simdts;
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+struct SweepSample {
+  unsigned threads = 0;
+  double wall_s = 0.0;
+  std::uint64_t nodes = 0;
+};
+
+std::uint64_t grid_nodes(const analysis::GridResult& grid) {
+  std::uint64_t nodes = 0;
+  for (const auto& pt : grid.points) nodes += pt.w;
+  return nodes;
+}
+
+bool same_grid(const analysis::GridResult& a, const analysis::GridResult& b) {
+  return a.points == b.points;
+}
+
+std::string format_json_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.6g", v);
+  return buf;
+}
+
+}  // namespace
+
+int main() {
+  analysis::print_banner(
+      "Perf harness — wall-clock baseline for the sweep runner and engine",
+      "repo infrastructure (no paper counterpart)",
+      "sweep wall time drops with host threads while every simulated count "
+      "and clock stays bit-identical; engine nodes/sec tracks hot-path work");
+
+  const auto sizes = bench::iso_machine_sizes();
+  const auto ladder = bench::iso_ladder();
+  const lb::SchemeConfig cfg = lb::gp_static(0.90);
+  const simd::CostModel cost = simd::cm2_cost_model();
+  const std::size_t grid_cells = sizes.size() * ladder.size();
+  const auto reps =
+      static_cast<unsigned>(analysis::env_u64("SIMDTS_BENCH_REPS", 1));
+
+  std::cout << "fig4a GP-S^0.90 grid: " << grid_cells << " cells, "
+            << "host hardware threads: " << runtime::sweep_threads() << "\n\n";
+
+  // --- Sweep scaling over the fig4 GP grid. -------------------------------
+  std::vector<SweepSample> samples;
+  analysis::GridResult reference;
+  bool identical = true;
+  for (const unsigned t : {1u, 2u, 4u, 8u}) {
+    double best = -1.0;
+    analysis::GridResult grid;
+    for (unsigned rep = 0; rep < std::max(1u, reps); ++rep) {
+      const auto start = Clock::now();
+      grid = analysis::run_grid(cfg, ladder, sizes, cost, t);
+      const double wall = seconds_since(start);
+      if (best < 0.0 || wall < best) best = wall;
+    }
+    if (t == 1) {
+      reference = grid;
+    } else if (!same_grid(reference, grid)) {
+      identical = false;
+    }
+    samples.push_back(SweepSample{t, best, grid_nodes(grid)});
+    std::cout << "  sweep t=" << t << ": "
+              << analysis::format_double(best, 3) << " s, speedup vs 1t "
+              << analysis::format_double(samples.front().wall_s / best, 2)
+              << "x\n";
+  }
+  if (!identical) {
+    std::cout << "\nFATAL: simulated results differ across thread counts — "
+                 "refusing to report a speedup obtained by changing the "
+                 "answer.\n";
+    return 1;
+  }
+  std::cout << "  all thread counts produced bit-identical grids\n\n";
+
+  // --- Engine throughput: one large single-machine run. -------------------
+  const auto& big = ladder.back();
+  double engine_best = -1.0;
+  std::uint64_t engine_nodes = 0;
+  for (unsigned rep = 0; rep < std::max(1u, reps); ++rep) {
+    const synthetic::Tree tree(big.params);
+    simd::Machine machine(sizes.back(), cost);
+    lb::Engine<synthetic::Tree> engine(tree, machine, cfg);
+    const auto start = Clock::now();
+    const lb::IterationStats stats = engine.run_iteration(search::kUnbounded);
+    const double wall = seconds_since(start);
+    engine_nodes = stats.nodes_expanded;
+    if (engine_best < 0.0 || wall < engine_best) engine_best = wall;
+  }
+  const double engine_nps =
+      engine_best > 0.0 ? static_cast<double>(engine_nodes) / engine_best
+                        : 0.0;
+  std::cout << "engine single run: P = " << sizes.back() << ", W = "
+            << engine_nodes << ", "
+            << analysis::format_double(engine_best, 3) << " s, "
+            << analysis::format_double(engine_nps, 0) << " nodes/s\n";
+
+  // --- JSON artifact. -----------------------------------------------------
+  std::ostringstream json;
+  json << "{\n"
+       << "  \"benchmark\": \"fig4a_gp_s90_grid\",\n"
+       << "  \"quick_mode\": " << (analysis::quick_mode() ? "true" : "false")
+       << ",\n"
+       << "  \"host_hardware_threads\": " << runtime::sweep_threads() << ",\n"
+       << "  \"grid_cells\": " << grid_cells << ",\n"
+       << "  \"sweeps\": [\n";
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    const SweepSample& s = samples[i];
+    json << "    {\"threads\": " << s.threads << ", \"wall_s\": "
+         << format_json_double(s.wall_s) << ", \"nodes\": " << s.nodes
+         << ", \"nodes_per_s\": "
+         << format_json_double(s.wall_s > 0.0
+                                   ? static_cast<double>(s.nodes) / s.wall_s
+                                   : 0.0)
+         << ", \"speedup_vs_1t\": "
+         << format_json_double(s.wall_s > 0.0
+                                   ? samples.front().wall_s / s.wall_s
+                                   : 0.0)
+         << "}" << (i + 1 < samples.size() ? "," : "") << "\n";
+  }
+  json << "  ],\n"
+       << "  \"results_identical_across_threads\": true,\n"
+       << "  \"engine\": {\"p\": " << sizes.back() << ", \"nodes\": "
+       << engine_nodes << ", \"wall_s\": " << format_json_double(engine_best)
+       << ", \"nodes_per_s\": " << format_json_double(engine_nps) << "}\n"
+       << "}\n";
+
+  std::string path = "BENCH_engine.json";
+  if (const char* p = std::getenv("SIMDTS_BENCH_JSON"); p != nullptr) {
+    path = p;
+  }
+  if (analysis::write_file(path, json.str())) {
+    std::cout << "[json] " << path << '\n';
+  } else {
+    std::cout << "[json] failed to write " << path << '\n';
+    return 1;
+  }
+  return 0;
+}

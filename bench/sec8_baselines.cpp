@@ -7,6 +7,7 @@
 // nearest-neighbour scheme's one-hop work diffusion both lose to GP-S^xo and
 // GP-D^K.
 #include <iostream>
+#include <iterator>
 
 #include "analysis/model.hpp"
 #include "baselines/baselines.hpp"
@@ -44,8 +45,17 @@ int main() {
 
   analysis::Table table({"scheme", "Nexpand", "phases", "rounds", "transfers",
                          "E"});
+  // The six schemes are independent runs on the same instance: sweep them
+  // concurrently, then print in scheme order.
+  std::vector<bench::PuzzleRun> runs;
   for (const auto& s : schemes) {
-    const lb::IterationStats rs = bench::run_puzzle(wl, p, s.cfg);
+    runs.push_back({&wl, s.cfg, p, simd::cm2_cost_model()});
+  }
+  const std::vector<lb::IterationStats> results =
+      bench::run_puzzle_sweep(runs);
+  for (std::size_t i = 0; i < std::size(schemes); ++i) {
+    const auto& s = schemes[i];
+    const lb::IterationStats& rs = results[i];
     table.row()
         .add(s.name)
         .add(rs.expand_cycles)

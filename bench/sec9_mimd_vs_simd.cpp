@@ -21,6 +21,7 @@
 #include "analysis/isoefficiency.hpp"
 #include "iso_common.hpp"
 #include "mimd/engine.hpp"
+#include "runtime/sweep.hpp"
 #include "synthetic/tree.hpp"
 
 namespace {
@@ -34,23 +35,26 @@ struct MimdGrid {
 MimdGrid run_mimd_grid(mimd::StealPolicy policy,
                        std::span<const synthetic::SyntheticWorkload> ladder,
                        std::span<const std::uint32_t> sizes) {
+  // Like analysis::run_grid, the MIMD cells are independent deterministic
+  // simulations: sweep them across host threads into pre-assigned slots.
   MimdGrid grid;
-  for (const std::uint32_t p : sizes) {
-    for (const auto& wl : ladder) {
-      const synthetic::Tree tree(wl.params);
-      mimd::MimdConfig cfg;
-      cfg.policy = policy;
-      mimd::MimdEngine<synthetic::Tree> engine(tree, p, cfg);
-      const mimd::MimdStats stats = engine.run_iteration(search::kUnbounded);
-      analysis::GridPoint pt;
-      pt.p = p;
-      pt.w = stats.nodes_expanded;
-      pt.efficiency = stats.efficiency(p);
-      pt.expand_cycles = stats.steps;
-      pt.lb_phases = stats.steals;
-      grid.points.push_back(pt);
-    }
-  }
+  grid.points = runtime::sweep_map<analysis::GridPoint>(
+      sizes.size() * ladder.size(), [&](std::size_t k) {
+        const std::uint32_t p = sizes[k / ladder.size()];
+        const auto& wl = ladder[k % ladder.size()];
+        const synthetic::Tree tree(wl.params);
+        mimd::MimdConfig cfg;
+        cfg.policy = policy;
+        mimd::MimdEngine<synthetic::Tree> engine(tree, p, cfg);
+        const mimd::MimdStats stats = engine.run_iteration(search::kUnbounded);
+        analysis::GridPoint pt;
+        pt.p = p;
+        pt.w = stats.nodes_expanded;
+        pt.efficiency = stats.efficiency(p);
+        pt.expand_cycles = stats.steps;
+        pt.lb_phases = stats.steals;
+        return pt;
+      });
   return grid;
 }
 

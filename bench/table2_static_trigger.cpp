@@ -64,11 +64,27 @@ int main() {
       {"W(meas)", "W(paper)", "x", "Nexp-nGP", "Nlb-nGP", "E-nGP",
        "Nexp-GP", "Nlb-GP", "E-GP", "paper:E-nGP", "paper:E-GP"});
 
-  for (const auto& wl : bench::table_workloads()) {
-    for (const int xpct : {50, 60, 70, 80, 90}) {
+  // All (workload, x, scheme) cells are independent runs: sweep them across
+  // host threads, then print from the in-order result slots.
+  const auto workloads = bench::table_workloads();
+  const int xpcts[] = {50, 60, 70, 80, 90};
+  std::vector<bench::PuzzleRun> runs;
+  for (const auto& wl : workloads) {
+    for (const int xpct : xpcts) {
       const double x = xpct / 100.0;
-      const lb::IterationStats ngp = bench::run_puzzle(wl, p, lb::ngp_static(x));
-      const lb::IterationStats gp = bench::run_puzzle(wl, p, lb::gp_static(x));
+      runs.push_back({&wl, lb::ngp_static(x), p, simd::cm2_cost_model()});
+      runs.push_back({&wl, lb::gp_static(x), p, simd::cm2_cost_model()});
+    }
+  }
+  const std::vector<lb::IterationStats> results =
+      bench::run_puzzle_sweep(runs);
+
+  std::size_t slot = 0;
+  for (const auto& wl : workloads) {
+    for (const int xpct : xpcts) {
+      const double x = xpct / 100.0;
+      const lb::IterationStats& ngp = results[slot++];
+      const lb::IterationStats& gp = results[slot++];
       const auto* paper_row =
           kPaperTable2.count(wl.paper_w) != 0 &&
                   kPaperTable2.at(wl.paper_w).count(xpct) != 0

@@ -57,9 +57,21 @@ int main() {
   analysis::Table table({"W(meas)", "scheme", "Nexpand", "*Nlb(rounds)",
                          "phases", "E", "paper:Nexp", "paper:*Nlb",
                          "paper:E"});
-  for (const auto& wl : bench::table_workloads()) {
+  // Sweep every (workload, scheme) cell concurrently; print in input order.
+  const auto workloads = bench::table_workloads();
+  std::vector<bench::PuzzleRun> runs;
+  for (const auto& wl : workloads) {
     for (const auto& s : schemes) {
-      const lb::IterationStats rs = bench::run_puzzle(wl, p, s.cfg);
+      runs.push_back({&wl, s.cfg, p, simd::cm2_cost_model()});
+    }
+  }
+  const std::vector<lb::IterationStats> results =
+      bench::run_puzzle_sweep(runs);
+
+  std::size_t slot = 0;
+  for (const auto& wl : workloads) {
+    for (const auto& s : schemes) {
+      const lb::IterationStats& rs = results[slot++];
       const PaperCell* pc = kPaperTable4.count(wl.paper_w) != 0
                                 ? &kPaperTable4.at(wl.paper_w)[s.paper_idx]
                                 : nullptr;

@@ -36,6 +36,8 @@ int main() {
                          "note"});
   analysis::Table slopes({"architecture", "E", "slope-ratio P=8192/P=512"});
   for (const auto& m : machines) {
+    // run_grid sweeps the (P, W) cells of each architecture's grid across
+    // host threads; the printed tables are identical to the serial run.
     const analysis::GridResult grid =
         analysis::run_grid(lb::gp_static(0.85), ladder, sizes, m.cost);
     const auto curves = analysis::extract_curves(grid, targets);

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "lb/engine.hpp"
+#include "runtime/sweep.hpp"
 #include "simd/machine.hpp"
 #include "synthetic/tree.hpp"
 
@@ -12,26 +13,28 @@ namespace simdts::analysis {
 GridResult run_grid(const lb::SchemeConfig& config,
                     std::span<const synthetic::SyntheticWorkload> workloads,
                     std::span<const std::uint32_t> machine_sizes,
-                    const simd::CostModel& cost) {
+                    const simd::CostModel& cost, unsigned threads) {
   GridResult result;
   result.config = config;
-  for (const std::uint32_t p : machine_sizes) {
+  const std::size_t per_size = workloads.size();
+  result.points.resize(machine_sizes.size() * per_size);
+  runtime::SweepRunner runner(threads);
+  runner.run(result.points.size(), [&](std::size_t k) {
+    const std::uint32_t p = machine_sizes[k / per_size];
+    const auto& wl = workloads[k % per_size];
+    const synthetic::Tree tree(wl.params);
     simd::Machine machine(p, cost);
-    for (const auto& wl : workloads) {
-      const synthetic::Tree tree(wl.params);
-      lb::Engine<synthetic::Tree> engine(tree, machine, config);
-      const lb::IterationStats stats =
-          engine.run_iteration(search::kUnbounded);
-      GridPoint pt;
-      pt.p = p;
-      pt.w = stats.nodes_expanded;
-      pt.efficiency = stats.efficiency();
-      pt.expand_cycles = stats.expand_cycles;
-      pt.lb_phases = stats.lb_phases;
-      pt.lb_rounds = stats.lb_rounds;
-      result.points.push_back(pt);
-    }
-  }
+    lb::Engine<synthetic::Tree> engine(tree, machine, config);
+    const lb::IterationStats stats = engine.run_iteration(search::kUnbounded);
+    GridPoint& pt = result.points[k];
+    pt.p = p;
+    pt.w = stats.nodes_expanded;
+    pt.efficiency = stats.efficiency();
+    pt.expand_cycles = stats.expand_cycles;
+    pt.lb_phases = stats.lb_phases;
+    pt.lb_rounds = stats.lb_rounds;
+    pt.clock = stats.clock;
+  });
   return result;
 }
 

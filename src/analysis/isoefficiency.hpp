@@ -15,6 +15,7 @@
 
 #include "lb/config.hpp"
 #include "simd/cost_model.hpp"
+#include "simd/machine.hpp"
 #include "synthetic/workloads.hpp"
 
 namespace simdts::analysis {
@@ -26,6 +27,9 @@ struct GridPoint {
   std::uint64_t expand_cycles = 0;
   std::uint64_t lb_phases = 0;
   std::uint64_t lb_rounds = 0;
+  simd::MachineClock clock;  ///< simulated-time accounting of the run
+
+  friend bool operator==(const GridPoint&, const GridPoint&) = default;
 };
 
 struct GridResult {
@@ -33,12 +37,17 @@ struct GridResult {
   std::vector<GridPoint> points;  ///< grouped by p, ascending w within
 };
 
-/// Runs the scheme over every (machine size, workload) pair.
+/// Runs the scheme over every (machine size, workload) pair.  The grid's
+/// runs are independent simulations, so they are swept concurrently across
+/// `threads` host threads (0 = runtime::sweep_threads()); each task owns a
+/// private simd::Machine and writes its pre-assigned slot, so the returned
+/// points — simulated counts and clocks included — are bit-identical to the
+/// serial run for any thread count.
 [[nodiscard]] GridResult run_grid(
     const lb::SchemeConfig& config,
     std::span<const synthetic::SyntheticWorkload> workloads,
     std::span<const std::uint32_t> machine_sizes,
-    const simd::CostModel& cost);
+    const simd::CostModel& cost, unsigned threads = 0);
 
 struct IsoCurvePoint {
   std::uint32_t p = 0;

@@ -11,15 +11,26 @@
 // baselines) are expressed through SchemeConfig; the engine itself is
 // domain-independent over any TreeProblem.
 //
+// Hot-path structure: the busy/idle census (how many stacks are non-empty /
+// splittable / empty) and the per-PE busy/idle flag planes are maintained
+// incrementally — the expansion cycle classifies each stack as it touches it,
+// and work transfers reclassify exactly the donor and receiver they move
+// nodes between.  Nothing outside a load-balancing matching step scans all P
+// stacks a second time.  When the Machine carries a thread pool, a cycle is
+// spread over host lanes with per-lane accumulators (counts, goals, pruned
+// bounds) that are reduced in lane order after the barrier, so no mutex is
+// taken inside the loop and the reduction order is fixed.
+//
 // Determinism: the run is a pure function of (problem, P, config, cost
 // model).  Host threads, if provided via the Machine's pool, only spread one
-// lock-step cycle over cores; every PE's state is private, so the result is
-// identical for any thread count.
+// lock-step cycle over cores; every PE's state is private and the per-lane
+// partials are combined in lane order, so the result — including the order
+// of recorded goal nodes — is identical for any thread count.
 #pragma once
 
+#include <algorithm>
 #include <cassert>
 #include <cstdint>
-#include <mutex>
 #include <vector>
 
 #include "lb/config.hpp"
@@ -45,7 +56,8 @@ class Engine {
         matcher_(cfg.match),
         stacks_(machine.size()),
         busy_flags_(machine.size()),
-        idle_flags_(machine.size()) {}
+        idle_flags_(machine.size()),
+        lane_scratch_(machine.pool() != nullptr ? machine.pool()->size() : 1) {}
 
   /// One bounded parallel DFS from the problem root: the root node is given
   /// to processor 0, the space is searched to exhaustion (all solutions at
@@ -95,6 +107,17 @@ class Engine {
 
     for (auto& s : stacks_) s.clear();
     stacks_[0].push(problem_.root());
+    // Initial census and flag planes: PE 0 holds the root (one node, so not
+    // yet splittable), everyone else is idle.  From here on the census is
+    // maintained incrementally — by the expansion cycles and by each work
+    // transfer — and never recomputed by a full rescan.
+    std::fill(busy_flags_.begin(), busy_flags_.end(), std::uint8_t{0});
+    std::fill(idle_flags_.begin(), idle_flags_.end(), std::uint8_t{1});
+    idle_flags_[0] = 0;
+    counts_ = Counts{};
+    counts_.nonempty = 1;
+    counts_.empty = static_cast<std::uint32_t>(stacks_.size()) - 1;
+
     next_bound_ = search::NextBound{};
     goal_nodes_.clear();
     std::size_t goals_seen = 0;  // goal_nodes_ scanned so far (for B&B)
@@ -108,15 +131,15 @@ class Engine {
     bool init_phase =
         cfg_.trigger == TriggerKind::kDP || cfg_.trigger == TriggerKind::kDK;
 
-    Counts counts = recount();
-    while (counts.nonempty > 0) {
-      const Counts after = expand_cycle(bound, stats);
-      machine_.charge_expand_cycle(counts.nonempty);
-      trigger.note_cycle(counts.nonempty);
+    while (counts_.nonempty > 0) {
+      const std::uint32_t working = counts_.nonempty;
+      expand_cycle(bound, stats);
+      machine_.charge_expand_cycle(working);
+      trigger.note_cycle(working);
       ++stats.expand_cycles;
-      counts = after;
       if (cfg_.record_trace) {
-        stats.trace.push_back(TracePoint{counts.nonempty, counts.splittable});
+        stats.trace.push_back(
+            TracePoint{counts_.nonempty, counts_.splittable});
       }
 
       if (mode == Mode::kFirstSolution && stats.goals_found > 0) {
@@ -135,8 +158,8 @@ class Engine {
       }
 
       const std::uint32_t active = cfg_.busy == BusyPolicy::kSplittable
-                                       ? counts.splittable
-                                       : counts.nonempty;
+                                       ? counts_.splittable
+                                       : counts_.nonempty;
       bool fire;
       if (init_phase) {
         const bool below = static_cast<double>(active) <=
@@ -145,11 +168,10 @@ class Engine {
         if (!below) init_phase = false;
         fire = below;
       } else {
-        fire = trigger.should_trigger(active, counts.empty);
+        fire = trigger.should_trigger(active, counts_.empty);
       }
-      if (fire && counts.empty > 0 && counts.splittable > 0) {
+      if (fire && counts_.empty > 0 && counts_.splittable > 0) {
         lb_phase(stats, trigger);
-        counts = recount();
       }
     }
 
@@ -188,7 +210,7 @@ class Engine {
   }
 
   /// Goal nodes found during the last run (all solutions at the final
-  /// threshold, in no particular order).
+  /// threshold, in PE-index order of the finding processor per cycle).
   [[nodiscard]] const std::vector<Node>& goal_nodes() const {
     return goal_nodes_;
   }
@@ -208,78 +230,109 @@ class Engine {
     std::uint32_t empty = 0;
   };
 
+  /// Lane-private partial results of one expansion cycle; merged in lane
+  /// order at the barrier.  The node buffers keep their capacity across
+  /// cycles, so steady-state cycles allocate nothing.
+  struct LaneScratch {
+    Counts counts;
+    std::uint64_t goals = 0;
+    std::vector<Node> goal_nodes;
+    std::vector<Node> children;
+    search::NextBound next_bound;
+  };
+
   [[nodiscard]] double initial_lb_cost() const {
     return cfg_.match == MatchScheme::kNeighbor
                ? machine_.cost().neighbor_cost()
                : machine_.lb_round_cost();
   }
 
-  [[nodiscard]] Counts recount() const {
-    Counts c;
-    for (const auto& s : stacks_) {
-      if (s.empty()) {
-        ++c.empty;
-      } else {
-        ++c.nonempty;
-        if (s.splittable()) ++c.splittable;
-      }
-    }
-    return c;
-  }
-
   /// One lock-step node-expansion cycle.  Every non-empty PE pops one node;
   /// goal nodes are recorded (and not expanded), everything else is expanded
-  /// with the bound.  Returns the post-cycle stack census.
-  Counts expand_cycle(search::Bound bound, IterationStats& stats) {
-    Counts after;
+  /// with the bound.  Each lane classifies the stacks it owns into its
+  /// scratch census and the shared flag planes (disjoint per-index writes);
+  /// the post-cycle census lands in counts_.
+  void expand_cycle(search::Bound bound, IterationStats& stats) {
+    for (auto& ls : lane_scratch_) {
+      ls.counts = Counts{};
+      ls.goals = 0;
+      ls.goal_nodes.clear();
+      ls.next_bound = search::NextBound{};
+    }
     simd::ThreadPool* pool = machine_.pool();
-    auto body = [&](std::size_t begin, std::size_t end) {
-      Counts local;
-      std::uint64_t goals = 0;
-      std::vector<Node> local_goal_nodes;
-      std::vector<Node> children;
-      search::NextBound nb;
+    auto body = [&, bound](unsigned lane, std::size_t begin, std::size_t end) {
+      LaneScratch& ls = lane_scratch_[lane];
       for (std::size_t i = begin; i < end; ++i) {
         auto& st = stacks_[i];
         if (!st.empty()) {
           Node n = st.pop();
           if (problem_.is_goal(n)) {
-            ++goals;
-            local_goal_nodes.push_back(n);
+            ++ls.goals;
+            ls.goal_nodes.push_back(std::move(n));
           } else {
-            children.clear();
-            problem_.expand(n, bound, children, nb);
-            for (auto& c : children) st.push(std::move(c));
+            ls.children.clear();
+            problem_.expand(n, bound, ls.children, ls.next_bound);
+            for (auto& c : ls.children) st.push(std::move(c));
           }
         }
         if (st.empty()) {
-          ++local.empty;
+          ++ls.counts.empty;
+          idle_flags_[i] = 1;
+          busy_flags_[i] = 0;
         } else {
-          ++local.nonempty;
-          if (st.splittable()) ++local.splittable;
+          ++ls.counts.nonempty;
+          idle_flags_[i] = 0;
+          const bool split = st.splittable();
+          busy_flags_[i] = split ? 1 : 0;
+          if (split) ++ls.counts.splittable;
         }
       }
-      const std::lock_guard lock(merge_mu_);
-      after.nonempty += local.nonempty;
-      after.splittable += local.splittable;
-      after.empty += local.empty;
-      stats.goals_found += goals;
-      next_bound_.merge(nb);
-      goal_nodes_.insert(goal_nodes_.end(), local_goal_nodes.begin(),
-                         local_goal_nodes.end());
     };
     if (pool != nullptr && pool->size() > 1) {
-      pool->parallel_for(stacks_.size(), body);
+      pool->parallel_for_lanes(stacks_.size(), body);
     } else {
-      body(0, stacks_.size());
+      body(0, 0, stacks_.size());
     }
-    return after;
+    // Ordered reduction at the barrier: lane 0 first, then lane 1, ... —
+    // bit-identical for any lane count.
+    Counts after;
+    for (auto& ls : lane_scratch_) {
+      after.nonempty += ls.counts.nonempty;
+      after.splittable += ls.counts.splittable;
+      after.empty += ls.counts.empty;
+      stats.goals_found += ls.goals;
+      next_bound_.merge(ls.next_bound);
+      for (auto& g : ls.goal_nodes) goal_nodes_.push_back(std::move(g));
+    }
+    counts_ = after;
   }
 
-  void refresh_flags() {
-    for (std::size_t i = 0; i < stacks_.size(); ++i) {
-      busy_flags_[i] = stacks_[i].splittable() ? 1 : 0;
-      idle_flags_[i] = stacks_[i].empty() ? 1 : 0;
+  /// Removes stack i's current classification from the census.  Call before
+  /// mutating the stack; pair with census_add() afterwards.
+  void census_remove(std::size_t i) {
+    const auto& s = stacks_[i];
+    if (s.empty()) {
+      --counts_.empty;
+    } else {
+      --counts_.nonempty;
+      if (s.splittable()) --counts_.splittable;
+    }
+  }
+
+  /// Re-adds stack i's (possibly changed) classification to the census and
+  /// refreshes its flag-plane entries.
+  void census_add(std::size_t i) {
+    const auto& s = stacks_[i];
+    if (s.empty()) {
+      ++counts_.empty;
+      idle_flags_[i] = 1;
+      busy_flags_[i] = 0;
+    } else {
+      ++counts_.nonempty;
+      idle_flags_[i] = 0;
+      const bool split = s.splittable();
+      busy_flags_[i] = split ? 1 : 0;
+      if (split) ++counts_.splittable;
     }
   }
 
@@ -287,18 +340,18 @@ class Engine {
   /// multiple_transfers — rounds until no idle processor can be served.
   /// A phase that cannot execute a single round (e.g. ring matching with no
   /// busy/idle adjacency) is a no-op: nothing is charged or counted and the
-  /// trigger state is left untouched.
+  /// trigger state is left untouched.  The flag planes are already current
+  /// (the expansion cycle and earlier transfers maintain them), so each
+  /// round goes straight to matching.
   void lb_phase(IterationStats& stats, Trigger& trigger) {
     const double cost_before = machine_.clock().elapsed;
     std::uint64_t rounds = 0;
     for (;;) {
-      refresh_flags();
-      std::vector<simd::Pair> pairs;
       std::uint64_t transfers = 0;
       if (cfg_.match == MatchScheme::kNeighbor) {
-        pairs = neighbor_pairs(busy_flags_, idle_flags_);
-        if (pairs.empty()) break;
-        transfers = transfer_split(pairs);
+        neighbor_pairs_into(busy_flags_, idle_flags_, pairs_);
+        if (pairs_.empty()) break;
+        transfers = transfer_split(pairs_);
         machine_.charge_neighbor_round();
       } else if (cfg_.transfer == TransferPolicy::kGiveOneNodeEach) {
         transfers = transfer_give_one();
@@ -308,9 +361,9 @@ class Engine {
         const std::size_t limit = cfg_.max_pairs_per_round == 0
                                       ? static_cast<std::size_t>(-1)
                                       : cfg_.max_pairs_per_round;
-        pairs = matcher_.match(busy_flags_, idle_flags_, limit);
-        if (pairs.empty()) break;
-        transfers = transfer_split(pairs);
+        matcher_.match_into(busy_flags_, idle_flags_, limit, pairs_);
+        if (pairs_.empty()) break;
+        transfers = transfer_split(pairs_);
         machine_.charge_lb_round();
       }
       ++stats.lb_rounds;
@@ -324,19 +377,26 @@ class Engine {
     trigger.begin_search_phase();
   }
 
-  /// Executes split transfers for matched pairs; returns the transfer count.
+  /// Executes split transfers for matched pairs, reclassifying each donor
+  /// and receiver in the census as it goes; returns the transfer count.
   std::uint64_t transfer_split(const std::vector<simd::Pair>& pairs) {
     for (const auto& [donor, receiver] : pairs) {
       assert(stacks_[donor].splittable());
       assert(stacks_[receiver].empty());
+      census_remove(donor);
+      census_remove(receiver);
       search::receive(stacks_[receiver],
                       search::split(stacks_[donor], cfg_.split));
+      census_add(donor);
+      census_add(receiver);
     }
     return pairs.size();
   }
 
   /// Frye's first scheme: each busy processor hands single nodes to as many
-  /// idle processors as it can spare (keeping one node for itself).
+  /// idle processors as it can spare (keeping one node for itself).  The
+  /// donor and receiver enumerations are snapshots of the flags at round
+  /// start, as on the lock-step machine.
   std::uint64_t transfer_give_one() {
     const simd::PeIndex start_after =
         cfg_.match == MatchScheme::kGP ? matcher_.pointer() : simd::kNoPe;
@@ -346,13 +406,19 @@ class Engine {
     std::uint64_t transfers = 0;
     std::size_t r = 0;
     for (const simd::PeIndex d : donors) {
+      if (r == receivers.size()) break;
       auto& st = stacks_[d];
+      if (st.size() < 2) continue;
+      census_remove(d);
       while (st.size() >= 2 && r < receivers.size()) {
-        stacks_[receivers[r]].push(st.take_bottom());
+        const simd::PeIndex rec = receivers[r];
+        census_remove(rec);
+        stacks_[rec].push(st.take_bottom());
+        census_add(rec);
         ++r;
         ++transfers;
       }
-      if (r == receivers.size()) break;
+      census_add(d);
     }
     return transfers;
   }
@@ -362,11 +428,13 @@ class Engine {
   SchemeConfig cfg_;
   Matcher matcher_;
   std::vector<search::WorkStack<Node>> stacks_;
-  std::vector<std::uint8_t> busy_flags_;
-  std::vector<std::uint8_t> idle_flags_;
+  std::vector<std::uint8_t> busy_flags_;  ///< splittable, maintained in place
+  std::vector<std::uint8_t> idle_flags_;  ///< empty, maintained in place
+  Counts counts_;                         ///< incrementally maintained census
+  std::vector<LaneScratch> lane_scratch_;
+  std::vector<simd::Pair> pairs_;  ///< reused across lb rounds
   std::vector<Node> goal_nodes_;
   search::NextBound next_bound_;
-  std::mutex merge_mu_;
 };
 
 }  // namespace simdts::lb

@@ -2,32 +2,44 @@
 
 namespace simdts::lb {
 
+void Matcher::match_into(std::span<const std::uint8_t> busy_flags,
+                         std::span<const std::uint8_t> idle_flags,
+                         std::size_t limit, std::vector<simd::Pair>& out) {
+  const simd::PeIndex start_after =
+      scheme_ == MatchScheme::kGP ? pointer_ : simd::kNoPe;
+  simd::rendezvous_into(busy_flags, idle_flags, start_after, limit, out);
+  if (scheme_ == MatchScheme::kGP && !out.empty()) {
+    pointer_ = out.back().donor;
+  }
+}
+
 std::vector<simd::Pair> Matcher::match(
     std::span<const std::uint8_t> busy_flags,
     std::span<const std::uint8_t> idle_flags, std::size_t limit) {
-  const simd::PeIndex start_after =
-      scheme_ == MatchScheme::kGP ? pointer_ : simd::kNoPe;
-  std::vector<simd::Pair> pairs =
-      simd::rendezvous(busy_flags, idle_flags, start_after);
-  if (pairs.size() > limit) pairs.resize(limit);
-  if (scheme_ == MatchScheme::kGP && !pairs.empty()) {
-    pointer_ = pairs.back().donor;
-  }
+  std::vector<simd::Pair> pairs;
+  match_into(busy_flags, idle_flags, limit, pairs);
   return pairs;
+}
+
+void neighbor_pairs_into(std::span<const std::uint8_t> busy_flags,
+                         std::span<const std::uint8_t> idle_flags,
+                         std::vector<simd::Pair>& out) {
+  out.clear();
+  const std::size_t p = busy_flags.size();
+  for (std::size_t i = 0; i < p; ++i) {
+    const std::size_t j = (i + 1) % p;
+    if (busy_flags[i] != 0 && idle_flags[j] != 0) {
+      out.push_back(simd::Pair{static_cast<simd::PeIndex>(i),
+                               static_cast<simd::PeIndex>(j)});
+    }
+  }
 }
 
 std::vector<simd::Pair> neighbor_pairs(
     std::span<const std::uint8_t> busy_flags,
     std::span<const std::uint8_t> idle_flags) {
-  const std::size_t p = busy_flags.size();
   std::vector<simd::Pair> pairs;
-  for (std::size_t i = 0; i < p; ++i) {
-    const std::size_t j = (i + 1) % p;
-    if (busy_flags[i] != 0 && idle_flags[j] != 0) {
-      pairs.push_back(simd::Pair{static_cast<simd::PeIndex>(i),
-                                 static_cast<simd::PeIndex>(j)});
-    }
-  }
+  neighbor_pairs_into(busy_flags, idle_flags, pairs);
   return pairs;
 }
 

@@ -27,11 +27,18 @@ class Matcher {
   /// Produces min(#busy, #idle, limit) donor->receiver pairs.  For GP,
   /// advances the global pointer to the last donor of this call.  The limit
   /// exists for the FESS baseline, which serves a single idle processor per
-  /// phase.
+  /// phase; it is pushed down into the rendezvous walk, so a small limit
+  /// never materializes (then truncates) the full pair enumeration.
   [[nodiscard]] std::vector<simd::Pair> match(
       std::span<const std::uint8_t> busy_flags,
       std::span<const std::uint8_t> idle_flags,
       std::size_t limit = static_cast<std::size_t>(-1));
+
+  /// As match(), but fills a caller-owned buffer (cleared first) so the
+  /// engine can reuse its capacity across load-balancing rounds.
+  void match_into(std::span<const std::uint8_t> busy_flags,
+                  std::span<const std::uint8_t> idle_flags, std::size_t limit,
+                  std::vector<simd::Pair>& out);
 
   /// Position of the global pointer (kNoPe before the first GP phase, and
   /// always kNoPe for nGP).
@@ -54,5 +61,10 @@ class Matcher {
 [[nodiscard]] std::vector<simd::Pair> neighbor_pairs(
     std::span<const std::uint8_t> busy_flags,
     std::span<const std::uint8_t> idle_flags);
+
+/// As neighbor_pairs(), but fills a caller-owned buffer (cleared first).
+void neighbor_pairs_into(std::span<const std::uint8_t> busy_flags,
+                         std::span<const std::uint8_t> idle_flags,
+                         std::vector<simd::Pair>& out);
 
 }  // namespace simdts::lb

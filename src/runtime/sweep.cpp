@@ -1,0 +1,64 @@
+#include "runtime/sweep.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+namespace simdts::runtime {
+
+unsigned sweep_threads() {
+  if (const char* v = std::getenv("SIMDTS_SWEEP_THREADS"); v != nullptr) {
+    char* end = nullptr;
+    const unsigned long parsed = std::strtoul(v, &end, 10);
+    if (end != v && parsed > 0) {
+      return static_cast<unsigned>(parsed);
+    }
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? hw : 1;
+}
+
+SweepRunner::SweepRunner(unsigned threads)
+    : threads_(threads == 0 ? sweep_threads() : threads) {}
+
+void SweepRunner::run_impl(std::size_t n, void* ctx, Trampoline fn) {
+  if (n == 0) return;
+  const unsigned workers = static_cast<unsigned>(
+      std::min<std::size_t>(threads_, n));
+  if (workers <= 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(ctx, i);
+    return;
+  }
+
+  std::atomic<std::size_t> next{0};
+  std::mutex err_mu;
+  std::exception_ptr first_error;
+  auto drain = [&] {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) return;
+      try {
+        fn(ctx, i);
+      } catch (...) {
+        const std::lock_guard lock(err_mu);
+        if (!first_error) first_error = std::current_exception();
+        // Stop handing out further work; in-flight tasks still finish.
+        next.store(n, std::memory_order_relaxed);
+      }
+    }
+  };
+
+  std::vector<std::thread> extra;
+  extra.reserve(workers - 1);
+  for (unsigned t = 1; t < workers; ++t) {
+    extra.emplace_back(drain);
+  }
+  drain();
+  for (auto& t : extra) t.join();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace simdts::runtime

@@ -1,0 +1,76 @@
+// Parallel sweep runner: a work-queue executor for grids of independent
+// simulations.
+//
+// Every figure and table in the reproduction is a sweep over fully
+// independent, deterministic runs — (config, machine size, workload) tuples
+// that share nothing.  The simulated machine is lock-step and its clock is
+// simulated time, so nothing about a run depends on when or where the host
+// executes it.  That makes the whole bench suite embarrassingly parallel at
+// the *sweep* level, which is where the wall-clock win is (the per-cycle
+// thread pool inside one Machine parallelizes a single run, but a sweep of
+// hundreds of runs scales trivially with host cores).
+//
+// Design:
+//   - run(n, task) executes task(0..n-1), each exactly once, pulling indices
+//     from a shared atomic counter (dynamic scheduling — grid tasks vary by
+//     orders of magnitude in cost, so static chunking would straggle).
+//   - Results go into pre-sized slots indexed by task id (see sweep_map), so
+//     output order — and therefore every CSV derived from it — is
+//     bit-identical to the serial run regardless of thread count or
+//     completion order.
+//   - Each task owns its private simd::Machine/engine state; the runner
+//     never shares simulation state across tasks.
+//   - Threads are spawned per sweep.  Tasks are whole simulations
+//     (milliseconds to seconds), so thread start-up cost is noise, and a
+//     sweep holds no idle threads alive between uses.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <type_traits>
+#include <vector>
+
+namespace simdts::runtime {
+
+/// Host threads a sweep uses by default: $SIMDTS_SWEEP_THREADS if set to a
+/// positive integer, otherwise the hardware concurrency (>= 1).
+[[nodiscard]] unsigned sweep_threads();
+
+class SweepRunner {
+ public:
+  /// `threads == 0` picks sweep_threads(); `threads == 1` runs inline.
+  explicit SweepRunner(unsigned threads = 0);
+
+  [[nodiscard]] unsigned threads() const noexcept { return threads_; }
+
+  /// Runs task(i) for every i in [0, n), each exactly once, across up to
+  /// threads() host threads; blocks until all tasks finish.  Tasks must not
+  /// share mutable state (distinct result slots are fine).  If any task
+  /// throws, the sweep stops handing out new indices and the first captured
+  /// exception is rethrown after all in-flight tasks finish.
+  template <typename F>
+  void run(std::size_t n, F&& task) {
+    using Fn = std::remove_reference_t<F>;
+    run_impl(n, const_cast<std::remove_const_t<Fn>*>(std::addressof(task)),
+             [](void* ctx, std::size_t i) { (*static_cast<Fn*>(ctx))(i); });
+  }
+
+ private:
+  using Trampoline = void (*)(void*, std::size_t);
+  void run_impl(std::size_t n, void* ctx, Trampoline fn);
+
+  unsigned threads_;
+};
+
+/// Maps fn over [0, n) in parallel and returns the results in index order:
+/// out[i] == fn(i), bit-identical to the serial loop for any thread count.
+template <typename T, typename F>
+[[nodiscard]] std::vector<T> sweep_map(std::size_t n, F&& fn,
+                                       unsigned threads = 0) {
+  std::vector<T> out(n);
+  SweepRunner runner(threads);
+  runner.run(n, [&](std::size_t i) { out[i] = fn(i); });
+  return out;
+}
+
+}  // namespace simdts::runtime

@@ -41,7 +41,6 @@ template <typename Node>
 [[nodiscard]] std::vector<Node> split(WorkStack<Node>& donor,
                                       SplitStrategy strategy) {
   std::vector<Node> donated;
-  auto& raw = donor.raw();
   switch (strategy) {
     case SplitStrategy::kBottomNode:
       donated.push_back(donor.take_bottom());
@@ -51,17 +50,20 @@ template <typename Node>
       break;
     case SplitStrategy::kHalf: {
       // Keep indices 1, 3, 5, ...; donate 0, 2, 4, ...  Donating from every
-      // depth keeps both halves representative of the whole stack.
-      std::deque<Node> kept;
-      donated.reserve((raw.size() + 1) / 2);
-      for (std::size_t i = 0; i < raw.size(); ++i) {
+      // depth keeps both halves representative of the whole stack.  The kept
+      // nodes are compacted towards the bottom in place.
+      const std::size_t n = donor.size();
+      donated.reserve((n + 1) / 2);
+      std::size_t kept = 0;
+      for (std::size_t i = 0; i < n; ++i) {
         if (i % 2 == 0) {
-          donated.push_back(std::move(raw[i]));
+          donated.push_back(std::move(donor[i]));
         } else {
-          kept.push_back(std::move(raw[i]));
+          if (kept != i) donor[kept] = std::move(donor[i]);
+          ++kept;
         }
       }
-      raw = std::move(kept);
+      donor.truncate(kept);
       break;
     }
   }

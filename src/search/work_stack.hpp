@@ -2,18 +2,25 @@
 //
 // Each processor's share of the search space is a stack of nodes, where each
 // node stands for its whole unexplored subtree.  Depth-first order means
-// expansion pops from the *top* (back); the entries towards the *bottom*
-// (front) are the shallowest untried alternatives and therefore represent
-// the largest subtrees — which is why the paper's splitter donates the node
-// at the bottom of the stack.
+// expansion pops from the *top*; the entries towards the *bottom* are the
+// shallowest untried alternatives and therefore represent the largest
+// subtrees — which is why the paper's splitter donates the node at the bottom
+// of the stack.
 //
 // A processor is "busy" (splittable) when it holds at least two nodes: it can
 // split its work into two non-empty parts, one to keep and one to give away
 // (Section 2).
+//
+// Storage is a contiguous ring buffer (power-of-two capacity, head index,
+// logical size): push/pop at the top and take_bottom at the bottom are all
+// O(1) with no per-node allocation, unlike the former std::deque backing
+// whose chunked storage cost an indirection on every hot-loop access.
+// Element slots are raw storage managed with placement construction so that
+// move-only node types work.
 #pragma once
 
 #include <cstddef>
-#include <deque>
+#include <memory>
 #include <utility>
 
 namespace simdts::search {
@@ -21,40 +28,138 @@ namespace simdts::search {
 template <typename Node>
 class WorkStack {
  public:
-  [[nodiscard]] bool empty() const noexcept { return nodes_.empty(); }
-  [[nodiscard]] std::size_t size() const noexcept { return nodes_.size(); }
+  WorkStack() = default;
+
+  WorkStack(WorkStack&& o) noexcept
+      : slots_(o.slots_), cap_(o.cap_), head_(o.head_), size_(o.size_) {
+    o.slots_ = nullptr;
+    o.cap_ = o.head_ = o.size_ = 0;
+  }
+
+  WorkStack& operator=(WorkStack&& o) noexcept {
+    if (this != &o) {
+      release();
+      slots_ = std::exchange(o.slots_, nullptr);
+      cap_ = std::exchange(o.cap_, 0);
+      head_ = std::exchange(o.head_, 0);
+      size_ = std::exchange(o.size_, 0);
+    }
+    return *this;
+  }
+
+  WorkStack(const WorkStack& o) {
+    reserve_pow2(o.size_);
+    for (std::size_t i = 0; i < o.size_; ++i) {
+      ::new (static_cast<void*>(slots_ + i)) Node(o[i]);
+      ++size_;
+    }
+  }
+
+  WorkStack& operator=(const WorkStack& o) {
+    if (this != &o) {
+      WorkStack tmp(o);
+      *this = std::move(tmp);
+    }
+    return *this;
+  }
+
+  ~WorkStack() { release(); }
+
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
 
   /// True when the stack can be split into two non-empty parts — the paper's
   /// definition of a busy processor.
-  [[nodiscard]] bool splittable() const noexcept { return nodes_.size() >= 2; }
+  [[nodiscard]] bool splittable() const noexcept { return size_ >= 2; }
 
-  void push(Node n) { nodes_.push_back(std::move(n)); }
+  void push(Node n) {
+    if (size_ == cap_) grow();
+    ::new (static_cast<void*>(slot_ptr(size_))) Node(std::move(n));
+    ++size_;
+  }
 
   /// Pops the deepest node (LIFO — depth-first order).
   Node pop() {
-    Node n = std::move(nodes_.back());
-    nodes_.pop_back();
+    Node* p = slot_ptr(size_ - 1);
+    Node n = std::move(*p);
+    p->~Node();
+    --size_;
     return n;
   }
 
   /// Removes and returns the shallowest node (bottom of the stack).
   Node take_bottom() {
-    Node n = std::move(nodes_.front());
-    nodes_.pop_front();
+    Node* p = slot_ptr(0);
+    Node n = std::move(*p);
+    p->~Node();
+    head_ = (head_ + 1) & (cap_ - 1);
+    --size_;
     return n;
   }
 
-  [[nodiscard]] const Node& bottom() const { return nodes_.front(); }
-  [[nodiscard]] const Node& top() const { return nodes_.back(); }
+  [[nodiscard]] const Node& bottom() const { return *slot_ptr(0); }
+  [[nodiscard]] const Node& top() const { return *slot_ptr(size_ - 1); }
 
-  void clear() noexcept { nodes_.clear(); }
+  /// Element i counted from the bottom (0 = shallowest, size()-1 = deepest);
+  /// for splitters and tests.
+  [[nodiscard]] Node& operator[](std::size_t i) { return *slot_ptr(i); }
+  [[nodiscard]] const Node& operator[](std::size_t i) const {
+    return *slot_ptr(i);
+  }
 
-  /// Direct access for splitters and tests.
-  [[nodiscard]] std::deque<Node>& raw() noexcept { return nodes_; }
-  [[nodiscard]] const std::deque<Node>& raw() const noexcept { return nodes_; }
+  /// Destroys every node above the first `new_size` (counted from the
+  /// bottom); for splitters compacting the kept part in place.
+  void truncate(std::size_t new_size) {
+    while (size_ > new_size) {
+      slot_ptr(size_ - 1)->~Node();
+      --size_;
+    }
+  }
+
+  void clear() noexcept {
+    truncate(0);
+    head_ = 0;
+  }
 
  private:
-  std::deque<Node> nodes_;
+  [[nodiscard]] Node* slot_ptr(std::size_t i) const noexcept {
+    return slots_ + ((head_ + i) & (cap_ - 1));
+  }
+
+  void grow() { reserve_pow2(cap_ == 0 ? 8 : cap_ * 2); }
+
+  /// Re-homes the live elements into a fresh buffer of at least `min_cap`
+  /// slots (rounded up to a power of two), bottom element first.
+  void reserve_pow2(std::size_t min_cap) {
+    std::size_t new_cap = 8;
+    while (new_cap < min_cap) new_cap *= 2;
+    if (new_cap <= cap_) return;
+    Node* new_slots = std::allocator<Node>().allocate(new_cap);
+    for (std::size_t i = 0; i < size_; ++i) {
+      ::new (static_cast<void*>(new_slots + i)) Node(std::move(*slot_ptr(i)));
+      slot_ptr(i)->~Node();
+    }
+    if (slots_ != nullptr) {
+      std::allocator<Node>().deallocate(slots_, cap_);
+    }
+    slots_ = new_slots;
+    cap_ = new_cap;
+    head_ = 0;
+  }
+
+  void release() noexcept {
+    if (slots_ != nullptr) {
+      truncate(0);
+      std::allocator<Node>().deallocate(slots_, cap_);
+      slots_ = nullptr;
+      cap_ = head_ = size_ = 0;
+    }
+  }
+
+  Node* slots_ = nullptr;
+  std::size_t cap_ = 0;   ///< always zero or a power of two
+  std::size_t head_ = 0;  ///< ring index of the bottom element
+  std::size_t size_ = 0;
 };
 
 }  // namespace simdts::search

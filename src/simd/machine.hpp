@@ -40,6 +40,10 @@ struct MachineClock {
 
   MachineClock& operator+=(const MachineClock& o);
 
+  /// Exact (bitwise double) equality — the determinism tests assert that
+  /// simulated time never depends on host threading.
+  friend bool operator==(const MachineClock&, const MachineClock&) = default;
+
   /// Difference of two snapshots (for measuring one run against a shared
   /// machine clock).
   [[nodiscard]] friend MachineClock operator-(MachineClock a,

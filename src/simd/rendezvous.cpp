@@ -1,7 +1,5 @@
 #include "simd/rendezvous.hpp"
 
-#include <algorithm>
-
 namespace simdts::simd {
 
 std::vector<PeIndex> ranked(std::span<const std::uint8_t> flags,
@@ -24,17 +22,46 @@ std::vector<PeIndex> ranked(std::span<const std::uint8_t> flags,
   return out;
 }
 
+void rendezvous_into(std::span<const std::uint8_t> donor_flags,
+                     std::span<const std::uint8_t> receiver_flags,
+                     PeIndex start_after, std::size_t limit,
+                     std::vector<Pair>& out) {
+  out.clear();
+  const std::size_t pd = donor_flags.size();
+  const std::size_t pr = receiver_flags.size();
+  if (pd == 0 || pr == 0 || limit == 0) return;
+  // Walk both enumerations in lockstep, emitting pair k as soon as the k-th
+  // donor and k-th receiver are known; stopping at `limit` leaves the tails
+  // of both enumerations unvisited.
+  const std::size_t first =
+      (start_after == kNoPe) ? 0
+                             : (static_cast<std::size_t>(start_after) + 1) % pd;
+  std::size_t d_step = 0;
+  std::size_t r = 0;
+  while (out.size() < limit) {
+    PeIndex donor = kNoPe;
+    for (; d_step < pd; ++d_step) {
+      const std::size_t i = (first + d_step) % pd;
+      if (donor_flags[i] != 0) {
+        donor = static_cast<PeIndex>(i);
+        ++d_step;
+        break;
+      }
+    }
+    if (donor == kNoPe) return;
+    for (; r < pr && receiver_flags[r] == 0; ++r) {
+    }
+    if (r == pr) return;
+    out.push_back(Pair{donor, static_cast<PeIndex>(r)});
+    ++r;
+  }
+}
+
 std::vector<Pair> rendezvous(std::span<const std::uint8_t> donor_flags,
                              std::span<const std::uint8_t> receiver_flags,
-                             PeIndex start_after) {
-  const std::vector<PeIndex> donors = ranked(donor_flags, start_after);
-  const std::vector<PeIndex> receivers = ranked(receiver_flags);
-  const std::size_t n = std::min(donors.size(), receivers.size());
+                             PeIndex start_after, std::size_t limit) {
   std::vector<Pair> pairs;
-  pairs.reserve(n);
-  for (std::size_t k = 0; k < n; ++k) {
-    pairs.push_back(Pair{donors[k], receivers[k]});
-  }
+  rendezvous_into(donor_flags, receiver_flags, start_after, limit, pairs);
   return pairs;
 }
 

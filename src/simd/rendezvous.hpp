@@ -29,13 +29,23 @@ struct Pair {
 /// order starting at the first donor *strictly after* `start_after` and
 /// wrapping around the machine; receiver ranks are assigned in plain PE-index
 /// order.  Passing `start_after == kNoPe` yields the unrotated (nGP)
-/// enumeration.  Exactly min(#donors, #receivers) pairs are produced, pair k
-/// joining donor-rank k with receiver-rank k (the paper's one-on-one
+/// enumeration.  Exactly min(#donors, #receivers, limit) pairs are produced,
+/// pair k joining donor-rank k with receiver-rank k (the paper's one-on-one
 /// matching: when idle processors outnumber busy ones only the first A idle
-/// processors receive work, and vice versa).
+/// processors receive work, and vice versa).  The walk stops as soon as
+/// `limit` pairs are emitted, so a small limit (the FESS baseline serves one
+/// idle PE per phase) never materializes the full enumeration.
 [[nodiscard]] std::vector<Pair> rendezvous(
     std::span<const std::uint8_t> donor_flags,
-    std::span<const std::uint8_t> receiver_flags, PeIndex start_after = kNoPe);
+    std::span<const std::uint8_t> receiver_flags, PeIndex start_after = kNoPe,
+    std::size_t limit = static_cast<std::size_t>(-1));
+
+/// As rendezvous(), but appends into a caller-owned buffer (cleared first) so
+/// hot loops can reuse its capacity across rounds.
+void rendezvous_into(std::span<const std::uint8_t> donor_flags,
+                     std::span<const std::uint8_t> receiver_flags,
+                     PeIndex start_after, std::size_t limit,
+                     std::vector<Pair>& out);
 
 /// The set PEs of `flags` in enumeration order: plain PE-index order, or —
 /// when `start_after != kNoPe` — starting at the first set PE strictly after

@@ -1,7 +1,6 @@
 #include "simd/thread_pool.hpp"
 
 #include <algorithm>
-#include <exception>
 
 namespace simdts::simd {
 
@@ -36,7 +35,7 @@ void ThreadPool::run_lane(unsigned lane) {
   const std::size_t end = std::min(n_, begin + chunk);
   if (begin < end) {
     try {
-      (*body_)(begin, end);
+      fn_(ctx_, lane, begin, end);
     } catch (...) {
       errors_[lane] = std::current_exception();
     }
@@ -60,23 +59,24 @@ void ThreadPool::worker(unsigned lane) {
   }
 }
 
-void ThreadPool::parallel_for(
-    std::size_t n, const std::function<void(std::size_t, std::size_t)>& body) {
+void ThreadPool::dispatch(std::size_t n, void* ctx, Trampoline fn) {
   if (n == 0) return;
   if (lanes_ == 1) {
-    body(0, n);
+    fn(ctx, 0, 0, n);
     return;
   }
   {
     std::unique_lock lock(mu_);
     n_ = n;
-    body_ = &body;
+    ctx_ = ctx;
+    fn_ = fn;
     std::fill(errors_.begin(), errors_.end(), nullptr);
     pending_ = lanes_;
     ++generation_;
     cv_start_.notify_all();
     cv_done_.wait(lock, [&] { return pending_ == 0; });
-    body_ = nullptr;
+    ctx_ = nullptr;
+    fn_ = nullptr;
   }
   for (auto& err : errors_) {
     if (err) std::rethrow_exception(err);

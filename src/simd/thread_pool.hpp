@@ -8,15 +8,23 @@
 // synchronisation).  Because each PE's state is private to its index, the
 // emulation is bit-deterministic regardless of the number of host threads.
 //
+// Dispatch is allocation-free: the body is passed as a (context, trampoline)
+// pair rather than a std::function, and parallel_for_lanes hands the body its
+// lane index so callers can reduce into pre-sized per-lane accumulator slots
+// after the barrier instead of merging under a mutex inside the hot loop.
+//
 // On a single-core host (or with threads == 1) the pool degrades to an inline
 // loop with zero synchronisation overhead.
 #pragma once
 
 #include <condition_variable>
 #include <cstddef>
-#include <functional>
+#include <cstdint>
+#include <exception>
+#include <memory>
 #include <mutex>
 #include <thread>
+#include <type_traits>
 #include <vector>
 
 namespace simdts::simd {
@@ -39,10 +47,31 @@ class ThreadPool {
   /// must not touch state shared across chunks without its own
   /// synchronisation.  Exceptions thrown by the body are rethrown (the first
   /// one encountered, by lane order) after all lanes finish.
-  void parallel_for(std::size_t n,
-                    const std::function<void(std::size_t, std::size_t)>& body);
+  template <typename F>
+  void parallel_for(std::size_t n, F&& body) {
+    auto laned = [&body](unsigned /*lane*/, std::size_t begin,
+                         std::size_t end) { body(begin, end); };
+    parallel_for_lanes(n, laned);
+  }
+
+  /// Like parallel_for, but the body also receives its lane index in
+  /// [0, size()).  Each lane index is used by at most one chunk per dispatch,
+  /// so body(lane, ...) may write lane-private accumulators without locking;
+  /// the caller reduces them after the call returns (i.e. at the barrier).
+  /// Lanes whose chunk is empty are not invoked.
+  template <typename F>
+  void parallel_for_lanes(std::size_t n, F&& body) {
+    using Fn = std::remove_reference_t<F>;
+    dispatch(n, const_cast<std::remove_const_t<Fn>*>(std::addressof(body)),
+             [](void* ctx, unsigned lane, std::size_t begin, std::size_t end) {
+               (*static_cast<Fn*>(ctx))(lane, begin, end);
+             });
+  }
 
  private:
+  using Trampoline = void (*)(void*, unsigned, std::size_t, std::size_t);
+
+  void dispatch(std::size_t n, void* ctx, Trampoline fn);
   void worker(unsigned lane);
   void run_lane(unsigned lane);
 
@@ -58,7 +87,8 @@ class ThreadPool {
 
   // Per-dispatch state (valid while pending_ > 0).
   std::size_t n_ = 0;
-  const std::function<void(std::size_t, std::size_t)>* body_ = nullptr;
+  void* ctx_ = nullptr;
+  Trampoline fn_ = nullptr;
   std::vector<std::exception_ptr> errors_;
 };
 

@@ -29,7 +29,7 @@ TEST_P(SplitInvariants, BothPartsNonEmptyAndUnionPreserved) {
   EXPECT_EQ(donated.size() + donor.size(), n);
 
   std::vector<int> all(donated);
-  for (const int v : donor.raw()) all.push_back(v);
+  for (std::size_t i = 0; i < donor.size(); ++i) all.push_back(donor[i]);
   std::sort(all.begin(), all.end());
   for (std::size_t i = 0; i < n; ++i) {
     EXPECT_EQ(all[i], static_cast<int>(i));
