@@ -13,7 +13,9 @@
 #pragma once
 
 #include <cstdint>
+#include <cstring>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "analysis/report.hpp"
@@ -21,6 +23,7 @@
 #include "lb/engine.hpp"
 #include "puzzle/fifteen.hpp"
 #include "puzzle/workloads.hpp"
+#include "runtime/journal.hpp"
 #include "runtime/sweep.hpp"
 #include "simd/cost_model.hpp"
 #include "simd/machine.hpp"
@@ -93,6 +96,53 @@ inline std::vector<lb::IterationStats> run_puzzle_sweep(
         return run_puzzle(*r.workload, r.p, r.cfg, r.cost);
       },
       threads);
+}
+
+/// True when the command line asks to resume from an existing sweep journal.
+inline bool parse_resume_flag(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--resume") == 0) return true;
+  }
+  return false;
+}
+
+/// Checkpointing variant of run_puzzle_sweep: completed cells are journaled
+/// to $SIMDTS_OUT_DIR/<journal_name>.journal (encoded bit-exactly via
+/// lb::encode_journal) as the sweep runs; with `resume` the journal is
+/// loaded first and only the missing cells are re-run.  Determinism makes
+/// the merged results — and every table printed from them — byte-identical
+/// to an uninterrupted sweep.  Callers delete the journal (see
+/// remove_sweep_journal) once their CSVs are safely written.
+inline std::vector<lb::IterationStats> run_puzzle_sweep_journaled(
+    std::span<const PuzzleRun> runs, const std::string& journal_name,
+    bool resume, unsigned threads = 0) {
+  std::vector<lb::IterationStats> results(runs.size());
+  std::vector<std::uint8_t> done(runs.size(), std::uint8_t{0});
+  runtime::SweepJournal journal(analysis::out_dir() + "/" + journal_name +
+                                ".journal");
+  if (resume) {
+    for (const auto& [slot, payload] : journal.load()) {
+      lb::IterationStats stats;
+      if (slot < runs.size() && lb::decode_journal(payload, stats)) {
+        results[slot] = std::move(stats);
+        done[slot] = 1;
+      }
+    }
+  }
+  runtime::SweepRunner runner(threads);
+  runner.run(runs.size(), [&](std::size_t i) {
+    if (done[i] != 0) return;  // replayed from the journal
+    const PuzzleRun& r = runs[i];
+    results[i] = run_puzzle(*r.workload, r.p, r.cfg, r.cost);
+    journal.record(i, lb::encode_journal(results[i]));
+  });
+  return results;
+}
+
+/// Deletes a sweep journal written by run_puzzle_sweep_journaled.
+inline void remove_sweep_journal(const std::string& journal_name) {
+  runtime::SweepJournal(analysis::out_dir() + "/" + journal_name + ".journal")
+      .remove();
 }
 
 /// The CM-2 t_lb / U_calc ratio used by the analytic-trigger columns.

@@ -11,16 +11,17 @@
 // (see DESIGN.md) so that W can be swept over nearly three decades.
 #include "iso_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace simdts;
+  const bool resume = bench::parse_resume_flag(argc, argv);
   analysis::print_banner(
       "Figure 4 — isoefficiency curves, static triggering",
       "Karypis & Kumar 1992, Figures 4a-4d",
       "GP-S^0.9 near-linear in P log P; nGP bends upward as x and the "
       "target efficiency grow");
-  bench::run_iso_experiment("fig4a_gp_s90", lb::gp_static(0.90));
-  bench::run_iso_experiment("fig4b_ngp_s90", lb::ngp_static(0.90));
-  bench::run_iso_experiment("fig4c_ngp_s80", lb::ngp_static(0.80));
-  bench::run_iso_experiment("fig4d_ngp_s70", lb::ngp_static(0.70));
+  bench::run_iso_experiment("fig4a_gp_s90", lb::gp_static(0.90), resume);
+  bench::run_iso_experiment("fig4b_ngp_s90", lb::ngp_static(0.90), resume);
+  bench::run_iso_experiment("fig4c_ngp_s80", lb::ngp_static(0.80), resume);
+  bench::run_iso_experiment("fig4d_ngp_s70", lb::ngp_static(0.70), resume);
   return 0;
 }

@@ -7,15 +7,16 @@
 // burden concentrates.
 #include "iso_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace simdts;
+  const bool resume = bench::parse_resume_flag(argc, argv);
   analysis::print_banner(
       "Figure 7 — isoefficiency curves, dynamic triggering",
       "Karypis & Kumar 1992, Figures 7a-7d",
       "GP-D^K ~ GP-D^P ~ O(P log P); nGP-D^K near-linear; nGP-D^P worse");
-  bench::run_iso_experiment("fig7a_gp_dk", lb::gp_dk());
-  bench::run_iso_experiment("fig7b_gp_dp", lb::gp_dp());
-  bench::run_iso_experiment("fig7c_ngp_dk", lb::ngp_dk());
-  bench::run_iso_experiment("fig7d_ngp_dp", lb::ngp_dp());
+  bench::run_iso_experiment("fig7a_gp_dk", lb::gp_dk(), resume);
+  bench::run_iso_experiment("fig7b_gp_dp", lb::gp_dp(), resume);
+  bench::run_iso_experiment("fig7c_ngp_dk", lb::ngp_dk(), resume);
+  bench::run_iso_experiment("fig7d_ngp_dp", lb::ngp_dp(), resume);
   return 0;
 }

@@ -1,4 +1,11 @@
 // Shared harness for the isoefficiency figures (4 and 7).
+//
+// Checkpoint/resume: each grid journals completed (P, W) cells to
+// $SIMDTS_OUT_DIR/<name>_grid.journal as it runs.  Re-running the driver
+// with --resume replays the journaled cells and computes only the missing
+// ones; determinism makes the resumed CSVs byte-identical to an
+// uninterrupted run.  The journal is deleted once the experiment's CSVs are
+// safely written.
 #pragma once
 
 #include <cstdint>
@@ -9,6 +16,8 @@
 #include "analysis/isoefficiency.hpp"
 #include "analysis/report.hpp"
 #include "analysis/table.hpp"
+#include "common.hpp"
+#include "runtime/journal.hpp"
 #include "synthetic/workloads.hpp"
 
 namespace simdts::bench {
@@ -38,12 +47,23 @@ inline std::vector<double> iso_targets() { return {0.50, 0.65, 0.80}; }
 /// straight-line verdict; emits CSVs under the given name.  Results are
 /// bit-identical to the serial run for any host thread count.
 inline void run_iso_experiment(const std::string& name,
-                               const lb::SchemeConfig& cfg) {
+                               const lb::SchemeConfig& cfg,
+                               bool resume = false) {
   std::cout << "--- " << name << " (" << cfg.name() << ") ---\n";
   const auto sizes = iso_machine_sizes();
   const auto ladder = iso_ladder();
+  analysis::GridOptions options;
+  options.journal_path = analysis::out_dir() + "/" + name + "_grid.journal";
+  options.resume = resume;
+  // Watchdog prior: generous multiple of the whole ladder's serial work, so
+  // only a genuinely wedged simulation trips it.
+  options.cycle_budget = analysis::env_u64("SIMDTS_CYCLE_BUDGET", 500000000);
+  if (resume) {
+    std::cout << "[resume] replaying completed cells from "
+              << options.journal_path << '\n';
+  }
   const analysis::GridResult grid =
-      analysis::run_grid(cfg, ladder, sizes, simd::cm2_cost_model());
+      analysis::run_grid(cfg, ladder, sizes, simd::cm2_cost_model(), options);
 
   analysis::Table raw({"P", "W", "E", "Nexpand", "Nlb"});
   for (const auto& pt : grid.points) {
@@ -86,6 +106,8 @@ inline void run_iso_experiment(const std::string& name,
   }
   std::cout << '\n';
   analysis::emit_csv(name + "_curves", curve_table);
+  // The CSVs are on disk; the checkpoint has served its purpose.
+  runtime::SweepJournal(options.journal_path).remove();
 }
 
 }  // namespace simdts::bench

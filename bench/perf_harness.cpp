@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "analysis/isoefficiency.hpp"
+#include "fault/fault.hpp"
 #include "iso_common.hpp"
 #include "lb/engine.hpp"
 #include "runtime/sweep.hpp"
@@ -137,6 +138,46 @@ int main() {
             << analysis::format_double(engine_best, 3) << " s, "
             << analysis::format_double(engine_nps, 0) << " nodes/s\n";
 
+  // --- Fault hooks: unarmed vs armed-with-empty-plan. ---------------------
+  // The fault machinery must be free when unused: an engine with an *empty*
+  // FaultPlan armed takes the fault-checking branches every cycle but never
+  // fires an event, so its simulated results must be bit-identical to the
+  // unarmed engine (hard failure if not) and its wall time within noise
+  // (reported, not gated — wall clocks on shared CI are too wobbly to gate).
+  const fault::FaultPlan empty_plan;
+  double armed_best = -1.0;
+  bool fault_identical = true;
+  {
+    const synthetic::Tree tree(big.params);
+    simd::Machine machine(sizes.back(), cost);
+    lb::Engine<synthetic::Tree> engine(tree, machine, cfg);
+    const lb::IterationStats unarmed =
+        engine.run_iteration(search::kUnbounded);
+    for (unsigned rep = 0; rep < std::max(1u, reps); ++rep) {
+      simd::Machine armed_machine(sizes.back(), cost);
+      lb::Engine<synthetic::Tree> armed(tree, armed_machine, cfg);
+      armed.arm_faults(&empty_plan);
+      const auto start = Clock::now();
+      const lb::IterationStats stats =
+          armed.run_iteration(search::kUnbounded);
+      const double wall = seconds_since(start);
+      if (armed_best < 0.0 || wall < armed_best) armed_best = wall;
+      if (!(stats == unarmed)) fault_identical = false;
+    }
+  }
+  if (!fault_identical) {
+    std::cout << "\nFATAL: arming an empty fault plan changed the simulated "
+                 "results — the fault hooks are not transparent.\n";
+    return 1;
+  }
+  const double fault_overhead_pct =
+      engine_best > 0.0 ? 100.0 * (armed_best - engine_best) / engine_best
+                        : 0.0;
+  std::cout << "fault hooks (empty plan armed): "
+            << analysis::format_double(armed_best, 3) << " s, overhead "
+            << analysis::format_double(fault_overhead_pct, 1)
+            << "% vs unarmed, results bit-identical\n";
+
   // --- JSON artifact. -----------------------------------------------------
   std::ostringstream json;
   json << "{\n"
@@ -164,7 +205,11 @@ int main() {
        << "  \"results_identical_across_threads\": true,\n"
        << "  \"engine\": {\"p\": " << sizes.back() << ", \"nodes\": "
        << engine_nodes << ", \"wall_s\": " << format_json_double(engine_best)
-       << ", \"nodes_per_s\": " << format_json_double(engine_nps) << "}\n"
+       << ", \"nodes_per_s\": " << format_json_double(engine_nps) << "},\n"
+       << "  \"fault_hooks\": {\"armed_empty_wall_s\": "
+       << format_json_double(armed_best) << ", \"overhead_pct\": "
+       << format_json_double(fault_overhead_pct)
+       << ", \"results_identical\": true}\n"
        << "}\n";
 
   std::string path = "BENCH_engine.json";

@@ -50,8 +50,9 @@ const std::map<std::uint64_t, std::map<int, PaperCell>> kPaperTable2 = {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace simdts;
+  const bool resume = bench::parse_resume_flag(argc, argv);
   const std::uint32_t p = bench::table_machine_size();
   analysis::print_banner(
       "Table 2 — static triggering (S^x), nGP vs GP",
@@ -77,7 +78,8 @@ int main() {
     }
   }
   const std::vector<lb::IterationStats> results =
-      bench::run_puzzle_sweep(runs);
+      bench::run_puzzle_sweep_journaled(runs, "table2_static_trigger",
+                                        resume);
 
   std::size_t slot = 0;
   for (const auto& wl : workloads) {
@@ -126,5 +128,6 @@ int main() {
   std::cout << xo_table;
   analysis::emit_csv("table2_static_trigger", table);
   analysis::emit_csv("table2_analytic_trigger", xo_table);
+  bench::remove_sweep_journal("table2_static_trigger");
   return 0;
 }

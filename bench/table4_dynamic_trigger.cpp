@@ -32,8 +32,9 @@ const std::map<std::uint64_t, std::array<PaperCell, 4>> kPaperTable4 = {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace simdts;
+  const bool resume = bench::parse_resume_flag(argc, argv);
   const std::uint32_t p = bench::table_machine_size();
   analysis::print_banner(
       "Table 4 — dynamic triggering: D^P and D^K x nGP and GP",
@@ -66,7 +67,8 @@ int main() {
     }
   }
   const std::vector<lb::IterationStats> results =
-      bench::run_puzzle_sweep(runs);
+      bench::run_puzzle_sweep_journaled(runs, "table4_dynamic_trigger",
+                                        resume);
 
   std::size_t slot = 0;
   for (const auto& wl : workloads) {
@@ -89,5 +91,6 @@ int main() {
   }
   std::cout << table;
   analysis::emit_csv("table4_dynamic_trigger", table);
+  bench::remove_sweep_journal("table4_dynamic_trigger");
   return 0;
 }

@@ -1,39 +1,127 @@
 #include "analysis/isoefficiency.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
+#include <memory>
+#include <sstream>
 
+#include "common/error.hpp"
 #include "lb/engine.hpp"
+#include "runtime/journal.hpp"
 #include "runtime/sweep.hpp"
 #include "simd/machine.hpp"
 #include "synthetic/tree.hpp"
 
 namespace simdts::analysis {
 
+std::string encode_grid_point(const GridPoint& pt) {
+  std::ostringstream os;
+  os << "v1 " << pt.p << ' ' << pt.w << ' '
+     << std::bit_cast<std::uint64_t>(pt.efficiency) << ' ' << pt.expand_cycles
+     << ' ' << pt.lb_phases << ' ' << pt.lb_rounds << ' '
+     << (pt.timed_out ? 1 : 0) << ' '
+     << std::bit_cast<std::uint64_t>(pt.clock.elapsed) << ' '
+     << std::bit_cast<std::uint64_t>(pt.clock.calc_time) << ' '
+     << std::bit_cast<std::uint64_t>(pt.clock.idle_time) << ' '
+     << std::bit_cast<std::uint64_t>(pt.clock.lb_time) << ' '
+     << std::bit_cast<std::uint64_t>(pt.clock.recovery_time) << ' '
+     << pt.clock.expand_cycles << ' ' << pt.clock.lb_rounds << ' '
+     << pt.clock.recovery_rounds << ' ' << pt.clock.nodes_expanded;
+  return os.str();
+}
+
+bool decode_grid_point(const std::string& payload, GridPoint& out) {
+  std::istringstream is(payload);
+  std::string version;
+  if (!(is >> version) || version != "v1") return false;
+  GridPoint pt;
+  std::uint64_t eff = 0, timed = 0, el = 0, calc = 0, idle = 0, lb = 0,
+                rec = 0;
+  if (!(is >> pt.p >> pt.w >> eff >> pt.expand_cycles >> pt.lb_phases >>
+        pt.lb_rounds >> timed >> el >> calc >> idle >> lb >> rec >>
+        pt.clock.expand_cycles >> pt.clock.lb_rounds >>
+        pt.clock.recovery_rounds >> pt.clock.nodes_expanded)) {
+    return false;
+  }
+  std::string extra;
+  if (is >> extra) return false;  // trailing garbage: treat as torn
+  if (timed > 1) return false;
+  pt.efficiency = std::bit_cast<double>(eff);
+  pt.timed_out = timed == 1;
+  pt.clock.elapsed = std::bit_cast<double>(el);
+  pt.clock.calc_time = std::bit_cast<double>(calc);
+  pt.clock.idle_time = std::bit_cast<double>(idle);
+  pt.clock.lb_time = std::bit_cast<double>(lb);
+  pt.clock.recovery_time = std::bit_cast<double>(rec);
+  out = pt;
+  return true;
+}
+
 GridResult run_grid(const lb::SchemeConfig& config,
                     std::span<const synthetic::SyntheticWorkload> workloads,
                     std::span<const std::uint32_t> machine_sizes,
                     const simd::CostModel& cost, unsigned threads) {
+  GridOptions options;
+  options.threads = threads;
+  return run_grid(config, workloads, machine_sizes, cost, options);
+}
+
+GridResult run_grid(const lb::SchemeConfig& config,
+                    std::span<const synthetic::SyntheticWorkload> workloads,
+                    std::span<const std::uint32_t> machine_sizes,
+                    const simd::CostModel& cost, const GridOptions& options) {
   GridResult result;
   result.config = config;
   const std::size_t per_size = workloads.size();
   result.points.resize(machine_sizes.size() * per_size);
-  runtime::SweepRunner runner(threads);
+
+  // Checkpoint/resume: completed slots are replayed from the journal, the
+  // rest re-run.  Determinism makes the merge exact — a replayed point is
+  // bit-identical to what the re-run would have produced.
+  std::unique_ptr<runtime::SweepJournal> journal;
+  std::vector<std::uint8_t> done(result.points.size(), std::uint8_t{0});
+  if (!options.journal_path.empty()) {
+    journal = std::make_unique<runtime::SweepJournal>(options.journal_path);
+    if (options.resume) {
+      for (const auto& [slot, payload] : journal->load()) {
+        GridPoint pt;
+        if (slot < result.points.size() && decode_grid_point(payload, pt)) {
+          result.points[slot] = pt;
+          done[slot] = 1;
+        }
+      }
+    }
+  }
+
+  runtime::SweepRunner runner(options.threads);
   runner.run(result.points.size(), [&](std::size_t k) {
+    if (done[k] != 0) return;  // replayed from the journal
     const std::uint32_t p = machine_sizes[k / per_size];
     const auto& wl = workloads[k % per_size];
     const synthetic::Tree tree(wl.params);
     simd::Machine machine(p, cost);
     lb::Engine<synthetic::Tree> engine(tree, machine, config);
-    const lb::IterationStats stats = engine.run_iteration(search::kUnbounded);
     GridPoint& pt = result.points[k];
-    pt.p = p;
-    pt.w = stats.nodes_expanded;
-    pt.efficiency = stats.efficiency();
-    pt.expand_cycles = stats.expand_cycles;
-    pt.lb_phases = stats.lb_phases;
-    pt.lb_rounds = stats.lb_rounds;
-    pt.clock = stats.clock;
+    if (options.cycle_budget != 0) {
+      engine.set_cycle_budget(options.cycle_budget);
+    }
+    try {
+      const lb::IterationStats stats =
+          engine.run_iteration(search::kUnbounded);
+      pt.p = p;
+      pt.w = stats.nodes_expanded;
+      pt.efficiency = stats.efficiency();
+      pt.expand_cycles = stats.expand_cycles;
+      pt.lb_phases = stats.lb_phases;
+      pt.lb_rounds = stats.lb_rounds;
+      pt.clock = stats.clock;
+    } catch (const TimeoutError&) {
+      pt = GridPoint{};
+      pt.p = p;
+      pt.timed_out = true;
+    }
+    if (journal) journal->record(k, encode_grid_point(pt));
   });
   return result;
 }

@@ -7,10 +7,16 @@
 // efficiency.  A scheme is O(P log P)-scalable exactly when its curves are
 // straight lines in these coordinates — which is what the benches assert
 // qualitatively for GP and refute for nGP at high thresholds.
+// Robustness (docs/robustness.md): run_grid takes GridOptions with a
+// watchdog cycle budget (a point that blows it is marked timed_out instead
+// of hanging the sweep) and an optional on-disk journal of completed slots,
+// so an interrupted grid resumes — skipping finished points and emitting a
+// byte-identical CSV (GridPoint codecs keep doubles as bit patterns).
 #pragma once
 
 #include <cstdint>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "lb/config.hpp"
@@ -27,14 +33,35 @@ struct GridPoint {
   std::uint64_t expand_cycles = 0;
   std::uint64_t lb_phases = 0;
   std::uint64_t lb_rounds = 0;
+  bool timed_out = false;    ///< run hit the watchdog cycle budget
   simd::MachineClock clock;  ///< simulated-time accounting of the run
 
   friend bool operator==(const GridPoint&, const GridPoint&) = default;
 };
 
+/// Exact single-line serialization of a GridPoint for sweep journals
+/// (doubles as IEEE-754 bit patterns; see lb::encode_journal for the
+/// convention).  decode returns false on torn/malformed payloads.
+[[nodiscard]] std::string encode_grid_point(const GridPoint& pt);
+[[nodiscard]] bool decode_grid_point(const std::string& payload,
+                                     GridPoint& out);
+
 struct GridResult {
   lb::SchemeConfig config;
   std::vector<GridPoint> points;  ///< grouped by p, ascending w within
+};
+
+/// Host-side robustness knobs for run_grid.
+struct GridOptions {
+  unsigned threads = 0;  ///< 0 = runtime::sweep_threads()
+  /// Watchdog: nonzero bounds each run's expand cycles; a point that blows
+  /// the budget is returned with timed_out = true (zero metrics) instead of
+  /// stalling the sweep.
+  std::uint64_t cycle_budget = 0;
+  /// Path of the completed-slot journal; empty disables checkpointing.
+  std::string journal_path;
+  /// With a journal: load it first and skip every slot it already covers.
+  bool resume = false;
 };
 
 /// Runs the scheme over every (machine size, workload) pair.  The grid's
@@ -48,6 +75,18 @@ struct GridResult {
     std::span<const synthetic::SyntheticWorkload> workloads,
     std::span<const std::uint32_t> machine_sizes,
     const simd::CostModel& cost, unsigned threads = 0);
+
+/// As above with robustness options: watchdog budget and checkpoint/resume
+/// journaling.  A resumed grid (same config/workloads/sizes) reproduces the
+/// uninterrupted result bit-identically — completed slots are replayed from
+/// the journal, the rest are re-run (determinism makes the merge exact).
+/// The journal file is left in place; callers delete it (via
+/// runtime::SweepJournal::remove) once derived outputs are safely written.
+[[nodiscard]] GridResult run_grid(
+    const lb::SchemeConfig& config,
+    std::span<const synthetic::SyntheticWorkload> workloads,
+    std::span<const std::uint32_t> machine_sizes,
+    const simd::CostModel& cost, const GridOptions& options);
 
 struct IsoCurvePoint {
   std::uint32_t p = 0;

@@ -1,0 +1,95 @@
+// Typed errors for the simdts library.
+//
+// Bench drivers and the sweep runner need to tell three failure classes
+// apart: a configuration that can never work (reject up front, print the
+// offending parameter), a simulation that blew its watchdog budget (report a
+// typed timeout result and move on), and a transient host-side hiccup (retry
+// with backoff).  A bare assert() gives none of that — it kills the whole
+// sweep with no context — so everything the library throws derives from
+// simdts::Error and carries enough context (scheme name, machine size,
+// simulated cycle) to print an actionable one-line diagnostic.
+#pragma once
+
+#include <cstdint>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace simdts {
+
+/// Base class of everything the library throws deliberately.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& message) : std::runtime_error(message) {}
+};
+
+/// A parameter value that can never produce a meaningful run (x outside
+/// (0, 1], negative cost, zero machine size, ...).  Thrown at construction
+/// time so bad values fail loudly instead of surfacing as NaN efficiencies
+/// deep inside a table.
+class ConfigError : public Error {
+ public:
+  ConfigError(const std::string& what, const std::string& context)
+      : Error(what + " [" + context + "]") {}
+};
+
+/// An engine invariant violated at run time (a transfer from a non-splittable
+/// donor, work lost during fault recovery, every PE dead with work
+/// outstanding).  Carries the scheme name, machine size, and simulated cycle.
+class EngineError : public Error {
+ public:
+  EngineError(const std::string& what, const std::string& scheme,
+              std::uint32_t p, std::uint64_t cycle)
+      : Error(format(what, scheme, p, cycle)) {}
+
+ private:
+  static std::string format(const std::string& what, const std::string& scheme,
+                            std::uint32_t p, std::uint64_t cycle) {
+    std::ostringstream os;
+    os << what << " [scheme=" << scheme << " P=" << p << " cycle=" << cycle
+       << "]";
+    return os.str();
+  }
+};
+
+/// A fault-recovery invariant violation (subclassed so tests can tell the
+/// fault machinery's failures from ordinary engine bugs).
+class FaultError : public EngineError {
+ public:
+  using EngineError::EngineError;
+};
+
+/// A simulation exceeded its watchdog budget of expand cycles.  The sweep
+/// runner converts this into a typed per-task timeout result instead of
+/// letting one pathological grid point hang the whole sweep.
+class TimeoutError : public Error {
+ public:
+  TimeoutError(const std::string& scheme, std::uint32_t p,
+               std::uint64_t cycles, std::uint64_t budget)
+      : Error(format(scheme, p, cycles, budget)), cycles_(cycles),
+        budget_(budget) {}
+
+  [[nodiscard]] std::uint64_t cycles() const noexcept { return cycles_; }
+  [[nodiscard]] std::uint64_t budget() const noexcept { return budget_; }
+
+ private:
+  static std::string format(const std::string& scheme, std::uint32_t p,
+                            std::uint64_t cycles, std::uint64_t budget) {
+    std::ostringstream os;
+    os << "simulated-cycle budget exceeded [scheme=" << scheme << " P=" << p
+       << " cycles=" << cycles << " budget=" << budget << "]";
+    return os.str();
+  }
+
+  std::uint64_t cycles_;
+  std::uint64_t budget_;
+};
+
+/// A host-side failure worth retrying (the sweep runner backs off and
+/// re-attempts the task up to its retry policy's limit).
+class TransientError : public Error {
+ public:
+  using Error::Error;
+};
+
+}  // namespace simdts

@@ -1,6 +1,9 @@
 #include "lb/config.hpp"
 
+#include <cmath>
 #include <sstream>
+
+#include "common/error.hpp"
 
 namespace simdts::lb {
 
@@ -60,6 +63,25 @@ std::string SchemeConfig::name() const {
   }
   if (multiple_transfers) os << "*";
   return os.str();
+}
+
+void SchemeConfig::validate() const {
+  const auto fail = [this](const char* what, const char* field, double value) {
+    std::ostringstream os;
+    os << "config=" << name() << " " << field << "=" << value;
+    throw ConfigError(std::string("SchemeConfig: ") + what, os.str());
+  };
+  if (trigger == TriggerKind::kStatic &&
+      (!(static_x > 0.0) || !(static_x <= 1.0) || !std::isfinite(static_x))) {
+    fail("static trigger threshold x must lie in (0, 1]", "static_x",
+         static_x);
+  }
+  if ((trigger == TriggerKind::kDP || trigger == TriggerKind::kDK) &&
+      (!(init_threshold > 0.0) || !(init_threshold <= 1.0) ||
+       !std::isfinite(init_threshold))) {
+    fail("initial-distribution threshold must lie in (0, 1]",
+         "init_threshold", init_threshold);
+  }
 }
 
 SchemeConfig ngp_static(double x) {

@@ -63,6 +63,15 @@ struct SchemeConfig {
   bool record_trace = false;
 
   [[nodiscard]] std::string name() const;
+
+  /// Rejects parameter values that can only produce degenerate runs: the
+  /// static threshold and the initial-distribution threshold must lie in
+  /// (0, 1] (a threshold of 0 never triggers and surfaces as NaN-free but
+  /// meaningless tables; above 1 triggers every cycle by accident), and both
+  /// must be finite.  Throws simdts::ConfigError naming this config and the
+  /// offending field.  Machine size constraints are deliberately absent: the
+  /// scan-based rendezvous works for any P >= 1, power of two or not.
+  void validate() const;
 };
 
 [[nodiscard]] const char* to_string(MatchScheme m);

@@ -22,17 +22,30 @@
 // taken inside the loop and the reduction order is fixed.
 //
 // Determinism: the run is a pure function of (problem, P, config, cost
-// model).  Host threads, if provided via the Machine's pool, only spread one
-// lock-step cycle over cores; every PE's state is private and the per-lane
-// partials are combined in lane order, so the result — including the order
-// of recorded goal nodes — is identical for any thread count.
+// model, fault plan).  Host threads, if provided via the Machine's pool, only
+// spread one lock-step cycle over cores; every PE's state is private and the
+// per-lane partials are combined in lane order, so the result — including the
+// order of recorded goal nodes — is identical for any thread count.
+//
+// Fault injection (docs/robustness.md): arm_faults() attaches a
+// fault::FaultPlan whose events fire on the simulated expand-cycle clock.
+// In degraded mode the census, rendezvous matching, and trigger accounting
+// range over the *surviving* lane set; a killed PE's unexpanded stack
+// intervals are journaled and re-donated to survivors in recovery phases
+// costed like lb phases; dropped lb messages leave the work on the donor.
+// The engine enforces a conservation invariant — every journaled node is
+// re-donated exactly once and dead lanes never expand — so a fault run
+// explores exactly the fault-free tree.  With no plan armed the fault hooks
+// reduce to one null-pointer test per cycle and the run is bit-identical to
+// the pre-fault engine.
 #pragma once
 
 #include <algorithm>
-#include <cassert>
 #include <cstdint>
 #include <vector>
 
+#include "common/error.hpp"
+#include "fault/fault.hpp"
 #include "lb/config.hpp"
 #include "lb/matching.hpp"
 #include "lb/metrics.hpp"
@@ -49,6 +62,8 @@ class Engine {
  public:
   using Node = typename P::Node;
 
+  /// Throws simdts::ConfigError on an invalid scheme configuration (see
+  /// SchemeConfig::validate).
   Engine(const P& problem, simd::Machine& machine, SchemeConfig cfg)
       : problem_(problem),
         machine_(machine),
@@ -57,7 +72,37 @@ class Engine {
         stacks_(machine.size()),
         busy_flags_(machine.size()),
         idle_flags_(machine.size()),
-        lane_scratch_(machine.pool() != nullptr ? machine.pool()->size() : 1) {}
+        dead_(machine.size(), std::uint8_t{0}),
+        alive_(machine.size()),
+        lane_scratch_(machine.pool() != nullptr ? machine.pool()->size() : 1) {
+    cfg_.validate();
+  }
+
+  /// Arms a fault plan: the plan's events fire on this engine's cumulative
+  /// expand-cycle clock (across IDA* iterations of one run).  The plan is
+  /// validated against the machine size; passing nullptr disarms.  Arming
+  /// resets the fault state — dead lanes, the event cursor, the drop budget,
+  /// and the recovery journal — so arm before each run() to replay a plan.
+  void arm_faults(const fault::FaultPlan* plan) {
+    if (plan != nullptr) plan->validate(machine_.size());
+    fault_plan_ = plan;
+    next_fault_ = 0;
+    fault_clock_ = 0;
+    drop_budget_ = 0;
+    std::fill(dead_.begin(), dead_.end(), std::uint8_t{0});
+    alive_ = machine_.size();
+    orphaned_total_ = 0;
+    recovered_total_ = 0;
+    recovery_journal_.clear();
+  }
+
+  /// Watchdog: a nonzero budget bounds the expand cycles of each bounded DFS
+  /// (each run_iteration / IDA* iteration); exceeding it throws
+  /// simdts::TimeoutError with the scheme, machine size, and cycle count.
+  /// The sweep runner converts that into a typed per-task timeout result.
+  void set_cycle_budget(std::uint64_t max_cycles) {
+    cycle_budget_ = max_cycles;
+  }
 
   /// One bounded parallel DFS from the problem root: the root node is given
   /// to processor 0, the space is searched to exhaustion (all solutions at
@@ -99,6 +144,10 @@ class Engine {
  private:
   enum class Mode { kExhaustive, kFirstSolution, kBranchAndBound };
 
+  [[nodiscard]] bool fault_armed() const noexcept {
+    return fault_plan_ != nullptr;
+  }
+
   BnbResult run_core(search::Bound bound, Mode mode) {
     const simd::MachineClock before = machine_.clock();
     BnbResult result;
@@ -106,23 +155,35 @@ class Engine {
     stats.bound = bound;
 
     for (auto& s : stacks_) s.clear();
-    stacks_[0].push(problem_.root());
-    // Initial census and flag planes: PE 0 holds the root (one node, so not
-    // yet splittable), everyone else is idle.  From here on the census is
-    // maintained incrementally — by the expansion cycles and by each work
-    // transfer — and never recomputed by a full rescan.
+    // Initial census and flag planes: the first surviving PE holds the root
+    // (one node, so not yet splittable), every other survivor is idle, dead
+    // lanes are neither.  From here on the census is maintained
+    // incrementally — by the expansion cycles, by each work transfer, and by
+    // the fault events — and never recomputed by a full rescan.
     std::fill(busy_flags_.begin(), busy_flags_.end(), std::uint8_t{0});
     std::fill(idle_flags_.begin(), idle_flags_.end(), std::uint8_t{1});
-    idle_flags_[0] = 0;
+    std::uint32_t root_pe = 0;
+    if (fault_armed()) {
+      if (alive_ == 0) {
+        throw FaultError("no surviving PE to start an iteration on",
+                         cfg_.name(), machine_.size(), fault_clock_);
+      }
+      for (std::size_t i = 0; i < dead_.size(); ++i) {
+        if (dead_[i]) idle_flags_[i] = 0;
+      }
+      while (dead_[root_pe]) ++root_pe;
+    }
+    stacks_[root_pe].push(problem_.root());
+    idle_flags_[root_pe] = 0;
     counts_ = Counts{};
     counts_.nonempty = 1;
-    counts_.empty = static_cast<std::uint32_t>(stacks_.size()) - 1;
+    counts_.empty = alive_ - 1;
 
     next_bound_ = search::NextBound{};
     goal_nodes_.clear();
     std::size_t goals_seen = 0;  // goal_nodes_ scanned so far (for B&B)
 
-    Trigger trigger(cfg_, machine_.size(), machine_.cost().t_expand,
+    Trigger trigger(cfg_, alive_, machine_.cost().t_expand,
                     initial_lb_cost());
     trigger.begin_search_phase();
     // The initial work-distribution phase (Section 7): dynamic triggers are
@@ -132,15 +193,21 @@ class Engine {
         cfg_.trigger == TriggerKind::kDP || cfg_.trigger == TriggerKind::kDK;
 
     while (counts_.nonempty > 0) {
+      if (cycle_budget_ != 0 && stats.expand_cycles >= cycle_budget_) {
+        throw TimeoutError(cfg_.name(), machine_.size(), stats.expand_cycles,
+                           cycle_budget_);
+      }
       const std::uint32_t working = counts_.nonempty;
       expand_cycle(bound, stats);
-      machine_.charge_expand_cycle(working);
+      machine_.charge_expand_cycle(working, alive_);
       trigger.note_cycle(working);
       ++stats.expand_cycles;
       if (cfg_.record_trace) {
         stats.trace.push_back(
-            TracePoint{counts_.nonempty, counts_.splittable});
+            TracePoint{counts_.nonempty, counts_.splittable, alive_});
       }
+      ++fault_clock_;
+      if (fault_armed()) apply_due_faults(stats, trigger);
 
       if (mode == Mode::kFirstSolution && stats.goals_found > 0) {
         break;  // "when a goal node is found, all of them quit"
@@ -164,7 +231,7 @@ class Engine {
       if (init_phase) {
         const bool below = static_cast<double>(active) <=
                            cfg_.init_threshold *
-                               static_cast<double>(machine_.size());
+                               static_cast<double>(alive_);
         if (!below) init_phase = false;
         fire = below;
       } else {
@@ -175,6 +242,7 @@ class Engine {
       }
     }
 
+    if (fault_armed()) check_conservation();
     stats.nodes_expanded = (machine_.clock() - before).nodes_expanded;
     stats.clock = machine_.clock() - before;
     if (next_bound_.has_value()) stats.next_bound = next_bound_.value();
@@ -223,6 +291,17 @@ class Engine {
     return stacks_;
   }
 
+  /// Surviving lane count (== machine size with no faults applied).
+  [[nodiscard]] std::uint32_t alive() const noexcept { return alive_; }
+
+  /// The lost-work journal of the armed fault plan's kills: one record per
+  /// kill event, with the detected orphan count and the recovery rounds it
+  /// cost.  Cleared by arm_faults().
+  [[nodiscard]] const std::vector<fault::RecoveryRecord>& recovery_journal()
+      const noexcept {
+    return recovery_journal_;
+  }
+
  private:
   struct Counts {
     std::uint32_t nonempty = 0;
@@ -251,7 +330,9 @@ class Engine {
   /// goal nodes are recorded (and not expanded), everything else is expanded
   /// with the bound.  Each lane classifies the stacks it owns into its
   /// scratch census and the shared flag planes (disjoint per-index writes);
-  /// the post-cycle census lands in counts_.
+  /// the post-cycle census lands in counts_.  Dead lanes are skipped — they
+  /// never expand and never re-enter the census; with no fault plan armed
+  /// the skip test is a single null-pointer check.
   void expand_cycle(search::Bound bound, IterationStats& stats) {
     for (auto& ls : lane_scratch_) {
       ls.counts = Counts{};
@@ -259,10 +340,13 @@ class Engine {
       ls.goal_nodes.clear();
       ls.next_bound = search::NextBound{};
     }
+    const std::uint8_t* dead = fault_armed() ? dead_.data() : nullptr;
     simd::ThreadPool* pool = machine_.pool();
-    auto body = [&, bound](unsigned lane, std::size_t begin, std::size_t end) {
+    auto body = [&, bound, dead](unsigned lane, std::size_t begin,
+                                 std::size_t end) {
       LaneScratch& ls = lane_scratch_[lane];
       for (std::size_t i = begin; i < end; ++i) {
+        if (dead != nullptr && dead[i] != 0) continue;
         auto& st = stacks_[i];
         if (!st.empty()) {
           Node n = st.pop();
@@ -307,6 +391,133 @@ class Engine {
     counts_ = after;
   }
 
+  /// Applies every fault event due at the current simulated cycle, in plan
+  /// order.  Runs in the engine's serial section (between lock-step cycles),
+  /// so fault handling is deterministic for any host thread count.
+  void apply_due_faults(IterationStats& stats, Trigger& trigger) {
+    const auto& events = fault_plan_->events();
+    while (next_fault_ < events.size() &&
+           events[next_fault_].cycle <= fault_clock_) {
+      const fault::FaultEvent& e = events[next_fault_++];
+      switch (e.kind) {
+        case fault::FaultKind::kKillPe:
+          kill_pe(e.pe, stats, trigger);
+          break;
+        case fault::FaultKind::kRevivePe:
+          revive_pe(e.pe, stats, trigger);
+          break;
+        case fault::FaultKind::kDropMessages:
+          drop_budget_ += e.count;
+          break;
+      }
+    }
+  }
+
+  /// Kills PE `pe`: removes it from the census and both flag planes, then
+  /// journals its unexpanded stack intervals and re-donates them to
+  /// survivors (the recovery phase).  Receivers are the surviving idle PEs
+  /// in wrap order after the dead PE (falling back to all survivors when
+  /// none is idle); nodes are dealt round-robin bottom-first, so each
+  /// receiver's stack stays in depth-first order.  Each round-robin wave
+  /// costs one recovery transfer round on the machine clock.
+  void kill_pe(std::uint32_t pe, IterationStats& stats, Trigger& trigger) {
+    if (dead_[pe] != 0) return;
+    census_remove(pe);
+    dead_[pe] = 1;
+    busy_flags_[pe] = 0;
+    idle_flags_[pe] = 0;
+    --alive_;
+    ++stats.pes_killed;
+
+    orphan_buf_.clear();
+    stacks_[pe].drain_into(orphan_buf_);
+    const std::uint64_t orphans = orphan_buf_.size();
+    if (alive_ == 0) {
+      if (orphans > 0 || counts_.nonempty > 0) {
+        throw FaultError("fault plan killed every PE with work outstanding",
+                         cfg_.name(), machine_.size(), fault_clock_);
+      }
+      recovery_journal_.push_back(
+          fault::RecoveryRecord{fault_clock_, pe, 0, 0});
+      return;
+    }
+    trigger.set_machine_size(alive_);
+    if (orphans == 0) {
+      recovery_journal_.push_back(
+          fault::RecoveryRecord{fault_clock_, pe, 0, 0});
+      return;
+    }
+    orphaned_total_ += orphans;
+
+    // Enumerate receivers: surviving idle lanes in wrap order after the dead
+    // PE — the same fairness rotation GP applies to donors — falling back to
+    // every survivor when no lane is idle.
+    const std::uint32_t p = machine_.size();
+    recovery_receivers_.clear();
+    for (std::uint32_t off = 1; off <= p; ++off) {
+      const std::uint32_t i = (pe + off) % p;
+      if (dead_[i] == 0 && idle_flags_[i] != 0) {
+        recovery_receivers_.push_back(i);
+      }
+    }
+    if (recovery_receivers_.empty()) {
+      for (std::uint32_t off = 1; off <= p; ++off) {
+        const std::uint32_t i = (pe + off) % p;
+        if (dead_[i] == 0) recovery_receivers_.push_back(i);
+      }
+    }
+    const std::size_t receivers = recovery_receivers_.size();
+    for (std::size_t j = 0; j < orphan_buf_.size(); ++j) {
+      const std::uint32_t rec = recovery_receivers_[j % receivers];
+      census_remove(rec);
+      stacks_[rec].push(std::move(orphan_buf_[j]));
+      census_add(rec);
+    }
+    orphan_buf_.clear();
+    recovered_total_ += orphans;
+
+    const std::uint64_t rounds =
+        (orphans + receivers - 1) / static_cast<std::uint64_t>(receivers);
+    for (std::uint64_t r = 0; r < rounds; ++r) {
+      machine_.charge_recovery_round();
+    }
+    ++stats.recovery_phases;
+    stats.nodes_recovered += orphans;
+    stats.recovery_rounds += rounds;
+    recovery_journal_.push_back(
+        fault::RecoveryRecord{fault_clock_, pe, orphans, rounds});
+  }
+
+  /// Revives PE `pe` as an idle receiver with an empty stack.
+  void revive_pe(std::uint32_t pe, IterationStats& stats, Trigger& trigger) {
+    if (dead_[pe] == 0) return;
+    dead_[pe] = 0;
+    ++alive_;
+    busy_flags_[pe] = 0;
+    idle_flags_[pe] = 1;
+    ++counts_.empty;
+    ++stats.pes_revived;
+    trigger.set_machine_size(alive_);
+  }
+
+  /// The conservation invariant of degraded mode: every node journaled from
+  /// a dead PE was re-donated exactly once (no subtree lost, none duplicated
+  /// — together with dead lanes never expanding, a fault run explores
+  /// exactly the fault-free tree).  Checked at the end of every iteration.
+  void check_conservation() const {
+    if (recovered_total_ != orphaned_total_) {
+      throw FaultError("conservation violated: orphaned nodes were lost or "
+                       "duplicated during recovery",
+                       cfg_.name(), machine_.size(), fault_clock_);
+    }
+    for (std::size_t i = 0; i < dead_.size(); ++i) {
+      if (dead_[i] != 0 && !stacks_[i].empty()) {
+        throw FaultError("conservation violated: a dead PE still holds work",
+                         cfg_.name(), machine_.size(), fault_clock_);
+      }
+    }
+  }
+
   /// Removes stack i's current classification from the census.  Call before
   /// mutating the stack; pair with census_add() afterwards.
   void census_remove(std::size_t i) {
@@ -341,8 +552,8 @@ class Engine {
   /// A phase that cannot execute a single round (e.g. ring matching with no
   /// busy/idle adjacency) is a no-op: nothing is charged or counted and the
   /// trigger state is left untouched.  The flag planes are already current
-  /// (the expansion cycle and earlier transfers maintain them), so each
-  /// round goes straight to matching.
+  /// (the expansion cycle, earlier transfers, and fault events maintain
+  /// them), so each round goes straight to matching.
   void lb_phase(IterationStats& stats, Trigger& trigger) {
     const double cost_before = machine_.clock().elapsed;
     std::uint64_t rounds = 0;
@@ -351,11 +562,12 @@ class Engine {
       if (cfg_.match == MatchScheme::kNeighbor) {
         neighbor_pairs_into(busy_flags_, idle_flags_, pairs_);
         if (pairs_.empty()) break;
-        transfers = transfer_split(pairs_);
+        transfers = transfer_split(pairs_, stats);
         machine_.charge_neighbor_round();
       } else if (cfg_.transfer == TransferPolicy::kGiveOneNodeEach) {
-        transfers = transfer_give_one();
-        if (transfers == 0) break;
+        const std::uint64_t dropped_before = stats.messages_dropped;
+        transfers = transfer_give_one(stats);
+        if (transfers == 0 && stats.messages_dropped == dropped_before) break;
         machine_.charge_lb_round();
       } else {
         const std::size_t limit = cfg_.max_pairs_per_round == 0
@@ -363,7 +575,7 @@ class Engine {
                                       : cfg_.max_pairs_per_round;
         matcher_.match_into(busy_flags_, idle_flags_, limit, pairs_);
         if (pairs_.empty()) break;
-        transfers = transfer_split(pairs_);
+        transfers = transfer_split(pairs_, stats);
         machine_.charge_lb_round();
       }
       ++stats.lb_rounds;
@@ -378,26 +590,42 @@ class Engine {
   }
 
   /// Executes split transfers for matched pairs, reclassifying each donor
-  /// and receiver in the census as it goes; returns the transfer count.
-  std::uint64_t transfer_split(const std::vector<simd::Pair>& pairs) {
+  /// and receiver in the census as it goes; returns the count of transfers
+  /// that actually happened.  An armed drop budget makes the router lose the
+  /// next messages: the donated half never leaves the donor (so no work is
+  /// lost — the donor retransmits at a later phase), and the loss is counted
+  /// in stats.messages_dropped.
+  std::uint64_t transfer_split(const std::vector<simd::Pair>& pairs,
+                               IterationStats& stats) {
+    std::uint64_t done = 0;
     for (const auto& [donor, receiver] : pairs) {
-      assert(stacks_[donor].splittable());
-      assert(stacks_[receiver].empty());
+      if (drop_budget_ > 0) {
+        --drop_budget_;
+        ++stats.messages_dropped;
+        continue;
+      }
+      if (!stacks_[donor].splittable() || !stacks_[receiver].empty()) {
+        throw EngineError(
+            "matched transfer pair violates its busy/idle preconditions",
+            cfg_.name(), machine_.size(), fault_clock_);
+      }
       census_remove(donor);
       census_remove(receiver);
       search::receive(stacks_[receiver],
                       search::split(stacks_[donor], cfg_.split));
       census_add(donor);
       census_add(receiver);
+      ++done;
     }
-    return pairs.size();
+    return done;
   }
 
   /// Frye's first scheme: each busy processor hands single nodes to as many
   /// idle processors as it can spare (keeping one node for itself).  The
   /// donor and receiver enumerations are snapshots of the flags at round
-  /// start, as on the lock-step machine.
-  std::uint64_t transfer_give_one() {
+  /// start, as on the lock-step machine.  Dropped messages consume a
+  /// receiver slot but leave the node on the donor.
+  std::uint64_t transfer_give_one(IterationStats& stats) {
     const simd::PeIndex start_after =
         cfg_.match == MatchScheme::kGP ? matcher_.pointer() : simd::kNoPe;
     const std::vector<simd::PeIndex> donors =
@@ -412,10 +640,15 @@ class Engine {
       census_remove(d);
       while (st.size() >= 2 && r < receivers.size()) {
         const simd::PeIndex rec = receivers[r];
+        ++r;
+        if (drop_budget_ > 0) {
+          --drop_budget_;
+          ++stats.messages_dropped;
+          continue;
+        }
         census_remove(rec);
         stacks_[rec].push(st.take_bottom());
         census_add(rec);
-        ++r;
         ++transfers;
       }
       census_add(d);
@@ -429,12 +662,26 @@ class Engine {
   Matcher matcher_;
   std::vector<search::WorkStack<Node>> stacks_;
   std::vector<std::uint8_t> busy_flags_;  ///< splittable, maintained in place
-  std::vector<std::uint8_t> idle_flags_;  ///< empty, maintained in place
+  std::vector<std::uint8_t> idle_flags_;  ///< empty *and alive*, in place
+  std::vector<std::uint8_t> dead_;        ///< killed lanes (degraded mode)
+  std::uint32_t alive_;                   ///< surviving lane count
   Counts counts_;                         ///< incrementally maintained census
   std::vector<LaneScratch> lane_scratch_;
   std::vector<simd::Pair> pairs_;  ///< reused across lb rounds
   std::vector<Node> goal_nodes_;
   search::NextBound next_bound_;
+
+  // Fault state (inert until arm_faults()).
+  const fault::FaultPlan* fault_plan_ = nullptr;
+  std::size_t next_fault_ = 0;       ///< cursor into the plan's events
+  std::uint64_t fault_clock_ = 0;    ///< cumulative expand cycles this run
+  std::uint64_t drop_budget_ = 0;    ///< messages the router will lose next
+  std::uint64_t cycle_budget_ = 0;   ///< watchdog (0 = unlimited)
+  std::uint64_t orphaned_total_ = 0;   ///< nodes journaled from dead PEs
+  std::uint64_t recovered_total_ = 0;  ///< nodes re-donated to survivors
+  std::vector<fault::RecoveryRecord> recovery_journal_;
+  std::vector<Node> orphan_buf_;                    ///< reused per kill
+  std::vector<std::uint32_t> recovery_receivers_;   ///< reused per kill
 };
 
 }  // namespace simdts::lb

@@ -1,5 +1,6 @@
 #include "lb/metrics.hpp"
 
+#include <bit>
 #include <sstream>
 
 #include "search/bound.hpp"
@@ -13,6 +14,12 @@ IterationStats& IterationStats::operator+=(const IterationStats& o) {
   lb_phases += o.lb_phases;
   lb_rounds += o.lb_rounds;
   transfers += o.transfers;
+  pes_killed += o.pes_killed;
+  pes_revived += o.pes_revived;
+  nodes_recovered += o.nodes_recovered;
+  recovery_phases += o.recovery_phases;
+  recovery_rounds += o.recovery_rounds;
+  messages_dropped += o.messages_dropped;
   clock += o.clock;
   // bound / next_bound / trace are per-iteration quantities; keep the
   // accumulator's values untouched.
@@ -25,6 +32,12 @@ std::string summarize(const IterationStats& s) {
      << " goals=" << s.goals_found << " Nexpand=" << s.expand_cycles
      << " Nlb=" << s.lb_phases << " rounds=" << s.lb_rounds
      << " transfers=" << s.transfers << " E=" << s.efficiency();
+  if (s.pes_killed > 0 || s.messages_dropped > 0) {
+    os << " killed=" << s.pes_killed << " revived=" << s.pes_revived
+       << " recovered=" << s.nodes_recovered
+       << " recovery_rounds=" << s.recovery_rounds
+       << " dropped=" << s.messages_dropped;
+  }
   return os.str();
 }
 
@@ -36,6 +49,77 @@ std::string summarize(const RunStats& s) {
      << " Nexpand=" << s.total.expand_cycles << " Nlb=" << s.total.lb_phases
      << " rounds=" << s.total.lb_rounds << " E=" << s.efficiency();
   return os.str();
+}
+
+namespace {
+
+void put_f64(std::ostream& os, double v) {
+  os << ' ' << std::bit_cast<std::uint64_t>(v);
+}
+
+bool get_u64(std::istream& is, std::uint64_t& v) {
+  return static_cast<bool>(is >> v);
+}
+
+bool get_f64(std::istream& is, double& v) {
+  std::uint64_t bits = 0;
+  if (!(is >> bits)) return false;
+  v = std::bit_cast<double>(bits);
+  return true;
+}
+
+bool get_i64(std::istream& is, std::int64_t& v) {
+  return static_cast<bool>(is >> v);
+}
+
+}  // namespace
+
+std::string encode_journal(const IterationStats& s) {
+  std::ostringstream os;
+  os << "v1 " << static_cast<std::int64_t>(s.bound) << ' ' << s.nodes_expanded
+     << ' ' << s.goals_found << ' ' << static_cast<std::int64_t>(s.next_bound)
+     << ' ' << s.expand_cycles << ' ' << s.lb_phases << ' ' << s.lb_rounds
+     << ' ' << s.transfers << ' ' << s.pes_killed << ' ' << s.pes_revived
+     << ' ' << s.nodes_recovered << ' ' << s.recovery_phases << ' '
+     << s.recovery_rounds << ' ' << s.messages_dropped;
+  put_f64(os, s.clock.elapsed);
+  put_f64(os, s.clock.calc_time);
+  put_f64(os, s.clock.idle_time);
+  put_f64(os, s.clock.lb_time);
+  put_f64(os, s.clock.recovery_time);
+  os << ' ' << s.clock.expand_cycles << ' ' << s.clock.lb_rounds << ' '
+     << s.clock.recovery_rounds << ' ' << s.clock.nodes_expanded;
+  return os.str();
+}
+
+bool decode_journal(const std::string& payload, IterationStats& out) {
+  std::istringstream is(payload);
+  std::string version;
+  if (!(is >> version) || version != "v1") return false;
+  IterationStats s;
+  std::int64_t bound = 0;
+  std::int64_t next_bound = 0;
+  if (!get_i64(is, bound) || !get_u64(is, s.nodes_expanded) ||
+      !get_u64(is, s.goals_found) || !get_i64(is, next_bound) ||
+      !get_u64(is, s.expand_cycles) || !get_u64(is, s.lb_phases) ||
+      !get_u64(is, s.lb_rounds) || !get_u64(is, s.transfers) ||
+      !get_u64(is, s.pes_killed) || !get_u64(is, s.pes_revived) ||
+      !get_u64(is, s.nodes_recovered) || !get_u64(is, s.recovery_phases) ||
+      !get_u64(is, s.recovery_rounds) || !get_u64(is, s.messages_dropped) ||
+      !get_f64(is, s.clock.elapsed) || !get_f64(is, s.clock.calc_time) ||
+      !get_f64(is, s.clock.idle_time) || !get_f64(is, s.clock.lb_time) ||
+      !get_f64(is, s.clock.recovery_time) ||
+      !get_u64(is, s.clock.expand_cycles) || !get_u64(is, s.clock.lb_rounds) ||
+      !get_u64(is, s.clock.recovery_rounds) ||
+      !get_u64(is, s.clock.nodes_expanded)) {
+    return false;
+  }
+  std::string extra;
+  if (is >> extra) return false;  // trailing garbage: treat as torn
+  s.bound = static_cast<search::Bound>(bound);
+  s.next_bound = static_cast<search::Bound>(next_bound);
+  out = std::move(s);
+  return true;
 }
 
 }  // namespace simdts::lb

@@ -36,6 +36,11 @@ class Trigger {
   /// Updates the L estimate with the measured cost of the phase just done.
   void note_lb_cost(double cost);
 
+  /// Degraded mode: when faults kill or revive PEs mid-run, the trigger
+  /// conditions (x * P, L * P, the idle integral) must range over the
+  /// *surviving* lane set, not the nominal machine size.
+  void set_machine_size(std::uint32_t p) { p_ = p; }
+
   /// Evaluates the trigger condition given the current counts of active
   /// (per BusyPolicy) and idle (empty-stack) processors.
   [[nodiscard]] bool should_trigger(std::uint32_t active,

@@ -1,0 +1,68 @@
+#include "runtime/journal.hpp"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace simdts::runtime {
+
+SweepJournal::SweepJournal(std::string path) : path_(std::move(path)) {
+  // Best-effort: make sure the journal's directory exists, like the CSV
+  // writer does for its artifacts.
+  const std::filesystem::path p(path_);
+  if (p.has_parent_path()) {
+    std::error_code ec;
+    std::filesystem::create_directories(p.parent_path(), ec);
+  }
+}
+
+std::map<std::size_t, std::string> SweepJournal::load() const {
+  std::map<std::size_t, std::string> entries;
+  std::ifstream in(path_);
+  if (!in) return entries;
+  std::string line;
+  while (std::getline(in, line)) {
+    // Format: `<index> <payload...> ok`.  The payload may itself contain
+    // spaces; only a line whose last token is the "ok" marker is trusted.
+    std::istringstream is(line);
+    std::size_t index = 0;
+    if (!(is >> index)) continue;
+    std::string rest;
+    std::getline(is, rest);
+    // Strip the single separating space and the trailing marker.
+    const std::string marker = " ok";
+    if (rest.size() < marker.size() + 1 || rest.front() != ' ' ||
+        rest.compare(rest.size() - marker.size(), marker.size(), marker) !=
+            0) {
+      continue;  // torn or malformed: the task re-runs
+    }
+    entries[index] = rest.substr(1, rest.size() - 1 - marker.size());
+  }
+  return entries;
+}
+
+void SweepJournal::record(std::size_t index, const std::string& payload) {
+  if (payload.find('\n') != std::string::npos) {
+    throw Error("journal payload must be a single line [" + path_ + "]");
+  }
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::ofstream out(path_, std::ios::app);
+  if (!out) {
+    throw Error("cannot open sweep journal for append [" + path_ + "]");
+  }
+  out << index << ' ' << payload << " ok\n";
+  out.flush();
+  if (!out) {
+    throw Error("failed writing sweep journal [" + path_ + "]");
+  }
+}
+
+void SweepJournal::remove() const {
+  std::remove(path_.c_str());
+}
+
+}  // namespace simdts::runtime

@@ -1,0 +1,52 @@
+// Append-only journal of completed sweep slots (checkpoint/resume).
+//
+// Long table sweeps (hundreds of engine runs) die for host-side reasons —
+// an OOM kill, a CI timeout, a Ctrl-C.  The journal makes them resumable:
+// each completed task appends one line `<slot-index> <payload> ok\n` and
+// flushes, so a restarted sweep can load the journal, skip every slot whose
+// payload decodes, and re-run only the rest.  Payloads are the exact
+// single-line encodings of lb::encode_journal / analysis-level codecs (all
+// doubles as IEEE-754 bit patterns), so a resumed sweep emits byte-identical
+// CSVs.
+//
+// Crash tolerance is by construction: a line is only trusted if it parses
+// completely and carries the trailing "ok" marker, so a torn final line (the
+// process died mid-write) is silently dropped and its task simply re-runs.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <mutex>
+#include <string>
+
+namespace simdts::runtime {
+
+class SweepJournal {
+ public:
+  /// Opens (creating if absent) the journal at `path` for appending.
+  explicit SweepJournal(std::string path);
+
+  [[nodiscard]] const std::string& path() const noexcept { return path_; }
+
+  /// Parses the journal into slot-index -> payload.  Torn or malformed lines
+  /// are skipped; a later entry for the same slot wins (harmless — entries
+  /// for one slot are identical by determinism).  A missing file yields an
+  /// empty map.
+  [[nodiscard]] std::map<std::size_t, std::string> load() const;
+
+  /// Appends `<index> <payload> ok` and flushes.  Thread-safe; called by
+  /// sweep worker threads as tasks complete.  The payload must be a single
+  /// line without embedded newlines.  Throws simdts::Error on I/O failure or
+  /// a payload containing a newline.
+  void record(std::size_t index, const std::string& payload);
+
+  /// Deletes the journal file (after a sweep completes and its CSV is
+  /// safely written).  Missing file is not an error.
+  void remove() const;
+
+ private:
+  std::string path_;
+  std::mutex mu_;
+};
+
+}  // namespace simdts::runtime

@@ -2,10 +2,13 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstdlib>
 #include <exception>
 #include <mutex>
 #include <thread>
+
+#include "common/error.hpp"
 
 namespace simdts::runtime {
 
@@ -59,6 +62,51 @@ void SweepRunner::run_impl(std::size_t n, void* ctx, Trampoline fn) {
   drain();
   for (auto& t : extra) t.join();
   if (first_error) std::rethrow_exception(first_error);
+}
+
+const char* to_string(TaskStatus s) {
+  switch (s) {
+    case TaskStatus::kOk: return "ok";
+    case TaskStatus::kTimeout: return "timeout";
+    case TaskStatus::kTransient: return "transient";
+    case TaskStatus::kFailed: return "failed";
+  }
+  return "?";
+}
+
+std::vector<TaskReport> run_tasks(SweepRunner& runner, std::size_t n,
+                                  const std::function<void(std::size_t)>& task,
+                                  RetryPolicy policy) {
+  std::vector<TaskReport> reports(n);
+  const std::uint32_t max_attempts = std::max(policy.max_attempts, 1u);
+  runner.run(n, [&](std::size_t i) {
+    TaskReport& r = reports[i];
+    for (std::uint32_t attempt = 0;; ++attempt) {
+      r.attempts = attempt + 1;
+      try {
+        task(i);
+        r.status = TaskStatus::kOk;
+        r.message.clear();
+        return;
+      } catch (const TimeoutError& e) {
+        // Deterministic: would time out identically on retry.
+        r.status = TaskStatus::kTimeout;
+        r.message = e.what();
+        return;
+      } catch (const TransientError& e) {
+        r.status = TaskStatus::kTransient;
+        r.message = e.what();
+        if (attempt + 1 >= max_attempts) return;
+        std::this_thread::sleep_for(std::chrono::milliseconds(
+            static_cast<std::uint64_t>(policy.backoff_ms) << attempt));
+      } catch (const std::exception& e) {
+        r.status = TaskStatus::kFailed;
+        r.message = e.what();
+        return;
+      }
+    }
+  });
+  return reports;
 }
 
 }  // namespace simdts::runtime

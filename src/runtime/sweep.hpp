@@ -23,10 +23,20 @@
 //   - Threads are spawned per sweep.  Tasks are whole simulations
 //     (milliseconds to seconds), so thread start-up cost is noise, and a
 //     sweep holds no idle threads alive between uses.
+// Robustness (docs/robustness.md): run_tasks() wraps run() with a typed
+// per-task outcome — a task that throws simdts::TimeoutError (the engine
+// watchdog) yields a kTimeout report instead of aborting the sweep, a
+// simdts::TransientError is retried with exponential backoff up to the
+// RetryPolicy's attempt limit, and anything else is reported kFailed with
+// its message.  Resumable sweeps layer SweepJournal on top (the analysis
+// and bench layers own the payload codecs).
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
+#include <functional>
 #include <memory>
+#include <string>
 #include <type_traits>
 #include <vector>
 
@@ -61,6 +71,42 @@ class SweepRunner {
 
   unsigned threads_;
 };
+
+/// Outcome class of one sweep task under run_tasks().
+enum class TaskStatus : std::uint8_t {
+  kOk,        ///< completed (possibly after transient retries)
+  kTimeout,   ///< threw simdts::TimeoutError (watchdog); never retried
+  kTransient, ///< threw simdts::TransientError on every allowed attempt
+  kFailed,    ///< threw anything else; not retried
+};
+
+[[nodiscard]] const char* to_string(TaskStatus s);
+
+/// Per-task report filled in by run_tasks(), slot-indexed like the results.
+struct TaskReport {
+  TaskStatus status = TaskStatus::kOk;
+  std::uint32_t attempts = 1;  ///< executions of the task body
+  std::string message;         ///< the final exception's what(), if any
+
+  friend bool operator==(const TaskReport&, const TaskReport&) = default;
+};
+
+/// Retry policy for transient failures.  Timeouts and hard failures are
+/// never retried — a deterministic simulation that blew its budget once
+/// will blow it every time.
+struct RetryPolicy {
+  std::uint32_t max_attempts = 3;   ///< total executions (first + retries)
+  std::uint32_t backoff_ms = 10;    ///< sleep before retry k is backoff_ms<<k
+};
+
+/// Like SweepRunner::run, but failures are contained per task: returns one
+/// TaskReport per index instead of rethrowing the first exception.  A task
+/// throwing TransientError is re-attempted (with exponential backoff) up to
+/// policy.max_attempts times; TimeoutError and other exceptions settle the
+/// task immediately.  The sweep always visits every index.
+[[nodiscard]] std::vector<TaskReport> run_tasks(
+    SweepRunner& runner, std::size_t n,
+    const std::function<void(std::size_t)>& task, RetryPolicy policy = {});
 
 /// Maps fn over [0, n) in parallel and returns the results in index order:
 /// out[i] == fn(i), bit-identical to the serial loop for any thread count.

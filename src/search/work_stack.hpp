@@ -22,6 +22,7 @@
 #include <cstddef>
 #include <memory>
 #include <utility>
+#include <vector>
 
 namespace simdts::search {
 
@@ -118,6 +119,21 @@ class WorkStack {
 
   void clear() noexcept {
     truncate(0);
+    head_ = 0;
+  }
+
+  /// Moves every node into `out` in bottom-to-top order, leaving the stack
+  /// empty.  Fault recovery uses this to journal a killed PE's unexpanded
+  /// intervals: the order matters, because re-donating bottom-first keeps the
+  /// shallowest (largest) subtrees at the bottom of the receiving stacks,
+  /// preserving depth-first order on the survivors.
+  void drain_into(std::vector<Node>& out) {
+    out.reserve(out.size() + size_);
+    for (std::size_t i = 0; i < size_; ++i) {
+      out.push_back(std::move(*slot_ptr(i)));
+      slot_ptr(i)->~Node();
+    }
+    size_ = 0;
     head_ = 0;
   }
 

@@ -1,6 +1,9 @@
 #include "simd/cost_model.hpp"
 
 #include <cmath>
+#include <sstream>
+
+#include "common/error.hpp"
 
 namespace simdts::simd {
 
@@ -29,6 +32,28 @@ double CostModel::topology_scale(std::uint32_t p) const {
 
 double CostModel::lb_round_cost(std::uint32_t p) const {
   return t_lb * lb_cost_multiplier * topology_scale(p);
+}
+
+void CostModel::validate() const {
+  const auto fail = [](const char* what, const char* field, double value) {
+    std::ostringstream os;
+    os << field << "=" << value;
+    throw ConfigError(std::string("CostModel: ") + what, os.str());
+  };
+  if (!(t_expand > 0.0) || !std::isfinite(t_expand)) {
+    fail("t_expand must be positive and finite", "t_expand", t_expand);
+  }
+  if (!(t_lb >= 0.0) || !std::isfinite(t_lb)) {
+    fail("t_lb must be nonnegative and finite", "t_lb", t_lb);
+  }
+  if (!(lb_cost_multiplier > 0.0) || !std::isfinite(lb_cost_multiplier)) {
+    fail("lb_cost_multiplier must be positive and finite",
+         "lb_cost_multiplier", lb_cost_multiplier);
+  }
+  if (!(t_neighbor >= 0.0) || !std::isfinite(t_neighbor)) {
+    fail("t_neighbor must be nonnegative and finite", "t_neighbor",
+         t_neighbor);
+  }
 }
 
 CostModel cm2_cost_model() { return CostModel{}; }

@@ -61,6 +61,14 @@ struct CostModel {
   [[nodiscard]] double lb_over_expand(std::uint32_t p) const {
     return lb_round_cost(p) / t_expand;
   }
+
+  /// Rejects parameter values that can only produce nonsense (NaN or
+  /// negative simulated times): t_expand must be positive and finite, the
+  /// transfer costs nonnegative and finite, the multiplier positive.  Throws
+  /// simdts::ConfigError naming the offending field; called by the Machine
+  /// constructor so bad models fail at construction, not as NaN efficiencies
+  /// deep inside a table.
+  void validate() const;
 };
 
 /// The paper's CM-2 configuration (30 ms expansion, 13 ms load balance).

@@ -1,6 +1,8 @@
 #include "simd/machine.hpp"
 
-#include <stdexcept>
+#include <sstream>
+
+#include "common/error.hpp"
 
 namespace simdts::simd {
 
@@ -9,8 +11,10 @@ MachineClock& MachineClock::operator+=(const MachineClock& o) {
   calc_time += o.calc_time;
   idle_time += o.idle_time;
   lb_time += o.lb_time;
+  recovery_time += o.recovery_time;
   expand_cycles += o.expand_cycles;
   lb_rounds += o.lb_rounds;
+  recovery_rounds += o.recovery_rounds;
   nodes_expanded += o.nodes_expanded;
   return *this;
 }
@@ -18,18 +22,23 @@ MachineClock& MachineClock::operator+=(const MachineClock& o) {
 Machine::Machine(std::uint32_t p, CostModel cost, ThreadPool* pool)
     : p_(p), cost_(cost), pool_(pool) {
   if (p_ == 0) {
-    throw std::invalid_argument("Machine: need at least one PE");
+    throw ConfigError("Machine: need at least one PE", "P=0");
   }
+  cost_.validate();
 }
 
-void Machine::charge_expand_cycle(std::uint32_t working) {
-  if (working > p_) {
-    throw std::invalid_argument("Machine: more working PEs than PEs");
+void Machine::charge_expand_cycle(std::uint32_t working, std::uint32_t alive) {
+  if (alive == 0) alive = p_;
+  if (working > alive || alive > p_) {
+    std::ostringstream os;
+    os << "working=" << working << " alive=" << alive << " P=" << p_;
+    throw EngineError("Machine: working/alive lane counts out of range", "-",
+                      p_, clock_.expand_cycles);
   }
   const double t = cost_.t_expand;
   clock_.elapsed += t;
   clock_.calc_time += static_cast<double>(working) * t;
-  clock_.idle_time += static_cast<double>(p_ - working) * t;
+  clock_.idle_time += static_cast<double>(alive - working) * t;
   clock_.expand_cycles += 1;
   clock_.nodes_expanded += working;
 }
@@ -46,6 +55,13 @@ void Machine::charge_neighbor_round() {
   clock_.elapsed += t;
   clock_.lb_time += static_cast<double>(p_) * t;
   clock_.lb_rounds += 1;
+}
+
+void Machine::charge_recovery_round() {
+  const double t = cost_.lb_round_cost(p_);
+  clock_.elapsed += t;
+  clock_.recovery_time += static_cast<double>(p_) * t;
+  clock_.recovery_rounds += 1;
 }
 
 }  // namespace simdts::simd

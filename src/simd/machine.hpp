@@ -9,9 +9,17 @@
 //
 // Accounting follows Section 3.1 of the paper exactly:
 //   T_calc = (nodes expanded) * t_expand           (useful computation)
-//   T_idle = sum over cycles of (P - working) * t_expand
+//   T_idle = sum over cycles of (alive - working) * t_expand
 //   T_lb   = (transfer rounds) * lb_round_cost * P
 //   P * T_par = T_calc + T_idle + T_lb,   E = T_calc / (P * T_par)
+//
+// Fault extension: when PEs are killed mid-run (see fault::FaultPlan), a
+// degraded machine charges idle time only for *surviving* lanes, and the
+// recovery phases that re-donate a dead PE's work are costed like
+// load-balancing rounds in a separate T_recover bucket, so efficiency tables
+// extend naturally with a fault axis.  With no faults, alive == P and
+// T_recover == 0: the accounting below is bit-identical to the fault-free
+// formulas.
 #pragma once
 
 #include <cstdint>
@@ -28,13 +36,15 @@ struct MachineClock {
   double calc_time = 0.0;      ///< useful work, T_calc
   double idle_time = 0.0;      ///< wasted expansion-cycle time, T_idle
   double lb_time = 0.0;        ///< P * (time spent in lb rounds), T_lb
+  double recovery_time = 0.0;  ///< P * (time spent re-donating dead PEs' work)
   std::uint64_t expand_cycles = 0;   ///< node-expansion cycles executed
   std::uint64_t lb_rounds = 0;       ///< work-transfer rounds executed
+  std::uint64_t recovery_rounds = 0; ///< fault-recovery transfer rounds
   std::uint64_t nodes_expanded = 0;  ///< total useful node expansions
 
-  /// E = T_calc / (T_calc + T_idle + T_lb).
+  /// E = T_calc / (T_calc + T_idle + T_lb + T_recover).
   [[nodiscard]] double efficiency() const {
-    const double total = calc_time + idle_time + lb_time;
+    const double total = calc_time + idle_time + lb_time + recovery_time;
     return total > 0.0 ? calc_time / total : 1.0;
   }
 
@@ -52,8 +62,10 @@ struct MachineClock {
     a.calc_time -= b.calc_time;
     a.idle_time -= b.idle_time;
     a.lb_time -= b.lb_time;
+    a.recovery_time -= b.recovery_time;
     a.expand_cycles -= b.expand_cycles;
     a.lb_rounds -= b.lb_rounds;
+    a.recovery_rounds -= b.recovery_rounds;
     a.nodes_expanded -= b.nodes_expanded;
     return a;
   }
@@ -63,7 +75,8 @@ class Machine {
  public:
   /// A machine of `p` PEs with the given cost model.  `pool`, if non-null,
   /// is used by callers to spread a PE cycle across host threads; it is not
-  /// owned.
+  /// owned.  Throws simdts::ConfigError on a zero-size machine or a cost
+  /// model with non-positive expansion cost / negative transfer costs.
   Machine(std::uint32_t p, CostModel cost, ThreadPool* pool = nullptr);
 
   [[nodiscard]] std::uint32_t size() const noexcept { return p_; }
@@ -71,8 +84,10 @@ class Machine {
   [[nodiscard]] ThreadPool* pool() const noexcept { return pool_; }
 
   /// Charges one lock-step node-expansion cycle in which `working` PEs popped
-  /// and expanded a node (the other P - working PEs idled through the cycle).
-  void charge_expand_cycle(std::uint32_t working);
+  /// and expanded a node and the other alive - working surviving PEs idled
+  /// through the cycle.  `alive == 0` means all P lanes survive (the
+  /// fault-free machine); dead lanes contribute neither calc nor idle time.
+  void charge_expand_cycle(std::uint32_t working, std::uint32_t alive = 0);
 
   /// Charges one load-balancing transfer round (matching setup + router
   /// transfer).  All P PEs pay for it: the machine is single-program.
@@ -81,6 +96,12 @@ class Machine {
   /// Charges one nearest-neighbour transfer step (cheaper than a general
   /// router round; used by the Frye baseline).
   void charge_neighbor_round();
+
+  /// Charges one fault-recovery transfer round: re-donating a dead PE's
+  /// journaled stack intervals to survivors costs a router round, booked in
+  /// the clock's recovery bucket so fault overhead is separable from regular
+  /// load balancing.
+  void charge_recovery_round();
 
   /// Cost one lb round would have, without charging it (the L estimate for
   /// the dynamic triggers is based on the *previous* phase's measured cost,

@@ -2,18 +2,54 @@
 
 #include <gtest/gtest.h>
 
-#include <stdexcept>
+#include "common/error.hpp"
 
 namespace simdts::simd {
 namespace {
 
 TEST(Machine, RejectsZeroPes) {
-  EXPECT_THROW(Machine(0, cm2_cost_model()), std::invalid_argument);
+  EXPECT_THROW(Machine(0, cm2_cost_model()), ConfigError);
 }
 
 TEST(Machine, RejectsMoreWorkingThanPes) {
   Machine m(8, cm2_cost_model());
-  EXPECT_THROW(m.charge_expand_cycle(9), std::invalid_argument);
+  EXPECT_THROW(m.charge_expand_cycle(9), EngineError);
+}
+
+TEST(Machine, RejectsBadCostModel) {
+  CostModel cm = cm2_cost_model();
+  cm.t_expand = 0.0;
+  EXPECT_THROW(Machine(8, cm), ConfigError);
+  cm = cm2_cost_model();
+  cm.t_lb = -1.0;
+  EXPECT_THROW(Machine(8, cm), ConfigError);
+}
+
+TEST(Machine, DegradedCycleChargesIdleOnlyForSurvivors) {
+  Machine m(10, cm2_cost_model());
+  // 6 of 10 lanes survive, 4 of them worked: idle time covers 2 lanes.
+  m.charge_expand_cycle(4, 6);
+  const MachineClock& c = m.clock();
+  EXPECT_DOUBLE_EQ(c.elapsed, 30.0);
+  EXPECT_DOUBLE_EQ(c.calc_time, 4 * 30.0);
+  EXPECT_DOUBLE_EQ(c.idle_time, 2 * 30.0);
+  EXPECT_THROW(m.charge_expand_cycle(7, 6), EngineError);   // working > alive
+  EXPECT_THROW(m.charge_expand_cycle(4, 11), EngineError);  // alive > P
+}
+
+TEST(Machine, RecoveryRoundAccounting) {
+  Machine m(10, cm2_cost_model());
+  m.charge_recovery_round();
+  const MachineClock& c = m.clock();
+  // Costed like an lb round, but booked in the recovery bucket.
+  EXPECT_DOUBLE_EQ(c.elapsed, 13.0);
+  EXPECT_DOUBLE_EQ(c.lb_time, 0.0);
+  EXPECT_DOUBLE_EQ(c.recovery_time, 10 * 13.0);
+  EXPECT_EQ(c.recovery_rounds, 1u);
+  EXPECT_EQ(c.lb_rounds, 0u);
+  // Recovery time degrades efficiency exactly like lb time.
+  m.charge_expand_cycle(10);
+  EXPECT_LT(m.clock().efficiency(), 1.0);
 }
 
 TEST(Machine, ExpandCycleAccounting) {

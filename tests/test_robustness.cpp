@@ -1,0 +1,325 @@
+// Host-side robustness: typed errors, validated configuration, journaled
+// checkpoint/resume, and the retrying sweep wrapper (docs/robustness.md).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "analysis/isoefficiency.hpp"
+#include "common/error.hpp"
+#include "lb/config.hpp"
+#include "lb/metrics.hpp"
+#include "runtime/journal.hpp"
+#include "runtime/sweep.hpp"
+#include "simd/cost_model.hpp"
+#include "synthetic/calibrate.hpp"
+
+namespace simdts {
+namespace {
+
+std::string temp_path(const std::string& name) {
+  return ::testing::TempDir() + "simdts_" + name;
+}
+
+// ---------------------------------------------------------------------------
+// Configuration validation (typed, actionable errors instead of asserts).
+// ---------------------------------------------------------------------------
+
+TEST(Validation, SchemeConfigRejectsBadThresholds) {
+  EXPECT_THROW(lb::gp_static(0.0).validate(), ConfigError);
+  EXPECT_THROW(lb::gp_static(-0.5).validate(), ConfigError);
+  EXPECT_THROW(lb::gp_static(1.5).validate(), ConfigError);
+  EXPECT_NO_THROW(lb::gp_static(0.9).validate());
+  EXPECT_NO_THROW(lb::gp_static(1.0).validate());
+
+  lb::SchemeConfig dk = lb::gp_dk();
+  dk.init_threshold = 0.0;
+  EXPECT_THROW(dk.validate(), ConfigError);
+  dk.init_threshold = 0.85;
+  EXPECT_NO_THROW(dk.validate());
+}
+
+TEST(Validation, CostModelRejectsNonsense) {
+  simd::CostModel cm = simd::cm2_cost_model();
+  EXPECT_NO_THROW(cm.validate());
+  cm.t_expand = -1.0;
+  EXPECT_THROW(cm.validate(), ConfigError);
+  cm = simd::cm2_cost_model();
+  cm.t_lb = -0.1;
+  EXPECT_THROW(cm.validate(), ConfigError);
+  cm = simd::cm2_cost_model();
+  cm.lb_cost_multiplier = 0.0;
+  EXPECT_THROW(cm.validate(), ConfigError);
+  cm = simd::cm2_cost_model();
+  cm.t_neighbor = -2.0;
+  EXPECT_THROW(cm.validate(), ConfigError);
+}
+
+TEST(Validation, ErrorMessagesCarryContext) {
+  try {
+    lb::gp_static(1.5).validate();
+    FAIL() << "expected ConfigError";
+  } catch (const ConfigError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("static_x"), std::string::npos) << what;
+    EXPECT_NE(what.find("1.5"), std::string::npos) << what;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Journal codecs: exact (bit-pattern) round-trips.
+// ---------------------------------------------------------------------------
+
+TEST(JournalCodec, IterationStatsRoundTripsExactly) {
+  lb::IterationStats s;
+  s.bound = 42;
+  s.nodes_expanded = 123456789;
+  s.goals_found = 3;
+  s.next_bound = 44;
+  s.expand_cycles = 2099;
+  s.lb_phases = 172;
+  s.lb_rounds = 180;
+  s.transfers = 5000;
+  s.pes_killed = 2;
+  s.nodes_recovered = 17;
+  s.recovery_phases = 2;
+  s.recovery_rounds = 5;
+  s.messages_dropped = 9;
+  s.clock.elapsed = 0.1 + 0.2;  // a value with no short decimal form
+  s.clock.calc_time = 1.0 / 3.0;
+  s.clock.idle_time = 2e-308;   // subnormal-adjacent, printf-hostile
+  s.clock.lb_time = 13.0 * 172;
+  s.clock.recovery_time = 65.0;
+  s.clock.expand_cycles = 2099;
+  s.clock.lb_rounds = 180;
+  s.clock.recovery_rounds = 5;
+  s.clock.nodes_expanded = 123456789;
+
+  lb::IterationStats back;
+  ASSERT_TRUE(lb::decode_journal(lb::encode_journal(s), back));
+  EXPECT_EQ(back, s);  // bitwise for the clock via defaulted ==
+}
+
+TEST(JournalCodec, RejectsTornAndAlienPayloads) {
+  lb::IterationStats s;
+  const std::string good = lb::encode_journal(s);
+  lb::IterationStats out;
+  EXPECT_TRUE(lb::decode_journal(good, out));
+  EXPECT_FALSE(lb::decode_journal(good.substr(0, good.size() / 2), out));
+  EXPECT_FALSE(lb::decode_journal(good + " 7", out));
+  EXPECT_FALSE(lb::decode_journal("v9 " + good, out));
+  EXPECT_FALSE(lb::decode_journal("", out));
+}
+
+TEST(JournalCodec, GridPointRoundTripsExactly) {
+  analysis::GridPoint pt;
+  pt.p = 8192;
+  pt.w = 16110463;
+  pt.efficiency = 0.905437219;
+  pt.expand_cycles = 2099;
+  pt.lb_phases = 172;
+  pt.lb_rounds = 180;
+  pt.timed_out = true;
+  pt.clock.elapsed = 1.0 / 7.0;
+  pt.clock.calc_time = 3.3e7;
+  pt.clock.nodes_expanded = 16110463;
+
+  analysis::GridPoint back;
+  ASSERT_TRUE(analysis::decode_grid_point(analysis::encode_grid_point(pt),
+                                          back));
+  EXPECT_EQ(back, pt);
+
+  EXPECT_FALSE(analysis::decode_grid_point("v1 1 2 3", back));
+  EXPECT_FALSE(analysis::decode_grid_point(
+      analysis::encode_grid_point(pt) + " junk", back));
+}
+
+// ---------------------------------------------------------------------------
+// The on-disk journal: append, load, torn-line tolerance.
+// ---------------------------------------------------------------------------
+
+TEST(SweepJournal, RecordsAndLoads) {
+  const std::string path = temp_path("journal_basic");
+  std::remove(path.c_str());
+  runtime::SweepJournal journal(path);
+  journal.record(2, "two words");
+  journal.record(0, "zero");
+  journal.record(7, "seven");
+
+  const auto entries = journal.load();
+  ASSERT_EQ(entries.size(), 3u);
+  EXPECT_EQ(entries.at(0), "zero");
+  EXPECT_EQ(entries.at(2), "two words");
+  EXPECT_EQ(entries.at(7), "seven");
+  journal.remove();
+  EXPECT_TRUE(journal.load().empty());
+}
+
+TEST(SweepJournal, SkipsTornAndMalformedLines) {
+  const std::string path = temp_path("journal_torn");
+  {
+    std::ofstream out(path, std::ios::trunc);
+    out << "0 alpha ok\n"
+        << "1 beta o";  // torn mid-marker: the process died here
+  }
+  runtime::SweepJournal journal(path);
+  auto entries = journal.load();
+  EXPECT_EQ(entries.size(), 1u);
+  EXPECT_EQ(entries.at(0), "alpha");
+
+  {
+    std::ofstream out(path, std::ios::trunc);
+    out << "garbage line\n"
+        << "3 gamma ok\n"
+        << "4 delta\n"          // no marker
+        << "notanumber x ok\n"  // bad index
+        << "5 epsilon ok\n";
+  }
+  entries = journal.load();
+  EXPECT_EQ(entries.size(), 2u);
+  EXPECT_EQ(entries.at(3), "gamma");
+  EXPECT_EQ(entries.at(5), "epsilon");
+  journal.remove();
+}
+
+TEST(SweepJournal, RejectsMultilinePayloads) {
+  runtime::SweepJournal journal(temp_path("journal_reject"));
+  EXPECT_THROW(journal.record(0, "two\nlines"), Error);
+  journal.remove();
+}
+
+// ---------------------------------------------------------------------------
+// Resumable grids: a journaled partial run completes to the identical
+// result, and journaled slots are not re-executed.
+// ---------------------------------------------------------------------------
+
+TEST(ResumableGrid, ResumedRunIsBitIdentical) {
+  const synthetic::Params shapes[] = {
+      {9013, 4, 0.395, 14},
+      {9011, 4, 0.400, 18},
+  };
+  std::vector<synthetic::SyntheticWorkload> ladder;
+  for (const auto& p : shapes) {
+    ladder.push_back(
+        synthetic::SyntheticWorkload{"ladder", p, synthetic::measure(p)});
+  }
+  const std::uint32_t sizes[] = {16, 64};
+  const lb::SchemeConfig cfg = lb::gp_static(0.90);
+  const simd::CostModel cost = simd::cm2_cost_model();
+
+  // Reference: uninterrupted, no journal.
+  const analysis::GridResult reference =
+      analysis::run_grid(cfg, ladder, sizes, cost, 1);
+
+  // "Interrupted" run: journal only a strict subset of the slots, as if the
+  // process died after two cells.
+  const std::string path = temp_path("grid_resume.journal");
+  std::remove(path.c_str());
+  {
+    runtime::SweepJournal journal(path);
+    journal.record(0, analysis::encode_grid_point(reference.points[0]));
+    journal.record(3, analysis::encode_grid_point(reference.points[3]));
+    // Simulate a torn final line from the crash.
+    std::ofstream out(path, std::ios::app);
+    out << "1 v1 16 941";
+  }
+
+  analysis::GridOptions options;
+  options.threads = 1;
+  options.journal_path = path;
+  options.resume = true;
+  const analysis::GridResult resumed =
+      analysis::run_grid(cfg, ladder, sizes, cost, options);
+
+  ASSERT_EQ(resumed.points.size(), reference.points.size());
+  for (std::size_t i = 0; i < reference.points.size(); ++i) {
+    EXPECT_EQ(resumed.points[i], reference.points[i]) << "slot " << i;
+  }
+  // The journal now covers every slot (the re-run recorded the rest).
+  EXPECT_EQ(runtime::SweepJournal(path).load().size(), 4u);
+  runtime::SweepJournal(path).remove();
+}
+
+TEST(ResumableGrid, WatchdogMarksPointTimedOutInsteadOfHanging) {
+  const synthetic::Params shape{9013, 4, 0.395, 14};
+  const std::vector<synthetic::SyntheticWorkload> ladder = {
+      synthetic::SyntheticWorkload{"ladder", shape,
+                                   synthetic::measure(shape)}};
+  const std::uint32_t sizes[] = {16};
+  analysis::GridOptions options;
+  options.threads = 1;
+  options.cycle_budget = 3;  // absurdly tight: every cell times out
+  const analysis::GridResult grid = analysis::run_grid(
+      lb::gp_static(0.90), ladder, sizes, simd::cm2_cost_model(), options);
+  ASSERT_EQ(grid.points.size(), 1u);
+  EXPECT_TRUE(grid.points[0].timed_out);
+  EXPECT_EQ(grid.points[0].p, 16u);
+  EXPECT_EQ(grid.points[0].w, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// run_tasks: typed per-task outcomes with retry/backoff.
+// ---------------------------------------------------------------------------
+
+TEST(RunTasks, ReportsOkTimeoutAndFailure) {
+  runtime::SweepRunner runner(2);
+  const auto reports = runtime::run_tasks(
+      runner, 4,
+      [](std::size_t i) {
+        switch (i) {
+          case 0: return;  // ok
+          case 1: throw TimeoutError("gp", 16, 100, 10);
+          case 2: throw Error("hard failure");
+          default: return;
+        }
+      },
+      runtime::RetryPolicy{3, 0});
+
+  ASSERT_EQ(reports.size(), 4u);
+  EXPECT_EQ(reports[0].status, runtime::TaskStatus::kOk);
+  EXPECT_EQ(reports[0].attempts, 1u);
+  EXPECT_EQ(reports[1].status, runtime::TaskStatus::kTimeout);
+  EXPECT_EQ(reports[1].attempts, 1u);  // timeouts are never retried
+  EXPECT_NE(reports[1].message.find("budget"), std::string::npos);
+  EXPECT_EQ(reports[2].status, runtime::TaskStatus::kFailed);
+  EXPECT_EQ(reports[2].attempts, 1u);
+  EXPECT_EQ(reports[3].status, runtime::TaskStatus::kOk);
+}
+
+TEST(RunTasks, RetriesTransientFailuresWithBackoff) {
+  runtime::SweepRunner runner(1);
+  std::atomic<int> calls{0};
+  const auto reports = runtime::run_tasks(
+      runner, 1,
+      [&](std::size_t) {
+        // Fail twice, then succeed.
+        if (calls.fetch_add(1) < 2) throw TransientError("blip");
+      },
+      runtime::RetryPolicy{5, 0});
+  ASSERT_EQ(reports.size(), 1u);
+  EXPECT_EQ(reports[0].status, runtime::TaskStatus::kOk);
+  EXPECT_EQ(reports[0].attempts, 3u);
+  EXPECT_EQ(calls.load(), 3);
+}
+
+TEST(RunTasks, GivesUpAfterMaxAttempts) {
+  runtime::SweepRunner runner(1);
+  std::atomic<int> calls{0};
+  const auto reports = runtime::run_tasks(
+      runner, 1,
+      [&](std::size_t) {
+        calls.fetch_add(1);
+        throw TransientError("always down");
+      },
+      runtime::RetryPolicy{3, 0});
+  ASSERT_EQ(reports.size(), 1u);
+  EXPECT_EQ(reports[0].status, runtime::TaskStatus::kTransient);
+  EXPECT_EQ(reports[0].attempts, 3u);
+  EXPECT_EQ(calls.load(), 3);
+  EXPECT_EQ(std::string(runtime::to_string(reports[0].status)), "transient");
+}
+
+}  // namespace
+}  // namespace simdts
