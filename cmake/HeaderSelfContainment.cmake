@@ -1,0 +1,48 @@
+# Header self-containment check.
+#
+# Generates one translation unit per public header under src/ that includes
+# the header twice and nothing else, and compiles them all into an object
+# library.  A header that silently leans on its includer's includes, or
+# whose include guard is broken, fails the ordinary build — the earliest
+# possible enforcement point.  Registered as the `header_self_containment`
+# target (part of ALL) plus a `lint.headers_self_contained` ctest that
+# rebuilds it on demand.
+#
+# The double include is deliberate: it turns a missing/typoed `#pragma once`
+# into a redefinition error instead of a latent footgun.
+
+function(simdts_add_header_self_containment)
+  file(GLOB_RECURSE _simdts_headers
+       RELATIVE ${CMAKE_SOURCE_DIR}/src
+       CONFIGURE_DEPENDS
+       ${CMAKE_SOURCE_DIR}/src/*.hpp)
+  set(_tu_dir ${CMAKE_BINARY_DIR}/header_self_containment)
+  set(_tus)
+  foreach(_hdr IN LISTS _simdts_headers)
+    string(MAKE_C_IDENTIFIER ${_hdr} _id)
+    set(_tu ${_tu_dir}/hsc_${_id}.cpp)
+    set(_content "// Auto-generated: self-containment check for ${_hdr}.\n#include \"${_hdr}\"\n#include \"${_hdr}\"\n")
+    # Only rewrite on change so incremental builds stay no-ops.
+    set(_existing "")
+    if(EXISTS ${_tu})
+      file(READ ${_tu} _existing)
+    endif()
+    if(NOT _existing STREQUAL _content)
+      file(WRITE ${_tu} ${_content})
+    endif()
+    list(APPEND _tus ${_tu})
+  endforeach()
+
+  add_library(header_self_containment OBJECT ${_tus})
+  target_link_libraries(header_self_containment
+    PRIVATE simdts::simdts simdts_warnings)
+
+  if(SIMDTS_BUILD_TESTS)
+    add_test(NAME lint.headers_self_contained
+      COMMAND ${CMAKE_COMMAND} --build ${CMAKE_BINARY_DIR}
+              --target header_self_containment)
+    set_tests_properties(lint.headers_self_contained PROPERTIES
+      TIMEOUT 600
+      RUN_SERIAL TRUE)
+  endif()
+endfunction()

@@ -1,0 +1,49 @@
+# Gated clang-tidy / clang-format enforcement.
+#
+# The dev container does not ship LLVM tooling, so these checks register
+# only when the binaries are found (CI installs them; see
+# .github/workflows/ci.yml's lint job).  simdlint — built from source in
+# tools/simdlint — is the always-on layer; clang-tidy adds the generic
+# bugprone/performance/concurrency checks on top.
+
+find_program(SIMDTS_CLANG_TIDY clang-tidy)
+find_program(SIMDTS_CLANG_FORMAT clang-format)
+
+function(simdts_add_clang_tidy_check)
+  if(NOT SIMDTS_CLANG_TIDY)
+    message(STATUS "clang-tidy not found; lint.clang_tidy not registered")
+    return()
+  endif()
+  if(NOT CMAKE_EXPORT_COMPILE_COMMANDS)
+    message(STATUS "compile_commands.json disabled; lint.clang_tidy skipped")
+    return()
+  endif()
+  # The library proper — bench/tests link gtest/benchmark headers whose
+  # diagnostics we don't own.
+  file(GLOB_RECURSE _tidy_sources CONFIGURE_DEPENDS
+       ${CMAKE_SOURCE_DIR}/src/*.cpp)
+  add_test(NAME lint.clang_tidy
+    COMMAND ${SIMDTS_CLANG_TIDY}
+            -p ${CMAKE_BINARY_DIR}
+            --quiet
+            --warnings-as-errors=*
+            ${_tidy_sources})
+  set_tests_properties(lint.clang_tidy PROPERTIES TIMEOUT 1800)
+endfunction()
+
+function(simdts_add_clang_format_check)
+  if(NOT SIMDTS_CLANG_FORMAT)
+    message(STATUS "clang-format not found; format_check target not added")
+    return()
+  endif()
+  file(GLOB_RECURSE _fmt_sources CONFIGURE_DEPENDS
+       ${CMAKE_SOURCE_DIR}/tools/simdlint/*.cpp
+       ${CMAKE_SOURCE_DIR}/tools/simdlint/*.hpp)
+  # Check-only target, scoped to the linter's own sources; the wider tree is
+  # checked in CI on changed files only to avoid reformat churn (see
+  # docs/static-analysis.md).
+  add_custom_target(format_check
+    COMMAND ${SIMDTS_CLANG_FORMAT} --dry-run -Werror ${_fmt_sources}
+    COMMENT "clang-format (check only, tools/simdlint)"
+    VERBATIM)
+endfunction()

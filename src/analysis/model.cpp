@@ -1,14 +1,16 @@
 #include "analysis/model.hpp"
 
 #include <cmath>
-#include <stdexcept>
+
+#include "common/error.hpp"
 
 namespace simdts::analysis {
 
 double split_log(double w, double alpha) {
   if (w <= 1.0) return 0.0;
   if (alpha <= 0.0 || alpha >= 1.0) {
-    throw std::invalid_argument("split_log: alpha must be in (0, 1)");
+    throw ConfigError("split_log: alpha must be in (0, 1)",
+                      "alpha=" + std::to_string(alpha));
   }
   return std::log(w) / std::log(1.0 / (1.0 - alpha));
 }
@@ -22,7 +24,8 @@ double optimal_static_trigger(const TriggerModel& m) {
 
 double predicted_efficiency_gp(const TriggerModel& m, double x) {
   if (x <= 0.0 || x >= 1.0) {
-    throw std::invalid_argument("predicted_efficiency_gp: x must be in (0,1)");
+    throw ConfigError("predicted_efficiency_gp: x must be in (0, 1)",
+                      "x=" + std::to_string(x));
   }
   const double lw = split_log(m.w, m.alpha);
   const double overhead =
@@ -31,13 +34,18 @@ double predicted_efficiency_gp(const TriggerModel& m, double x) {
 }
 
 double v_bound_gp(double x) {
-  if (x >= 1.0) throw std::invalid_argument("v_bound_gp: x must be < 1");
+  if (x >= 1.0) {
+    throw ConfigError("v_bound_gp: x must be < 1", "x=" + std::to_string(x));
+  }
   return x <= 0.5 ? 1.0 : 1.0 / (1.0 - x);
 }
 
 double v_bound_ngp(double x, double w) {
   if (x <= 0.5) return 1.0;
-  if (x >= 1.0) throw std::invalid_argument("v_bound_ngp: x must be < 1");
+  if (x >= 1.0) {
+    throw ConfigError("v_bound_ngp: x must be < 1",
+                      "x=" + std::to_string(x));
+  }
   const double exponent = (2.0 * x - 1.0) / (1.0 - x);
   return std::pow(std::log2(w), exponent);
 }

@@ -5,19 +5,23 @@
 #include <iomanip>
 #include <ostream>
 #include <sstream>
-#include <stdexcept>
+
+#include "common/error.hpp"
 
 namespace simdts::analysis {
 
 Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
   if (headers_.empty()) {
-    throw std::invalid_argument("Table: need at least one column");
+    throw ConfigError("Table: need at least one column", "headers=0");
   }
 }
 
 Table& Table::row() {
   if (!cells_.empty() && cells_.back().size() != headers_.size()) {
-    throw std::logic_error("Table: previous row incomplete");
+    throw InvariantError("Table: previous row incomplete",
+                         "have " + std::to_string(cells_.back().size()) +
+                             " of " + std::to_string(headers_.size()) +
+                             " cells");
   }
   cells_.emplace_back();
   return *this;
@@ -26,7 +30,8 @@ Table& Table::row() {
 Table& Table::add(std::string cell) {
   if (cells_.empty()) row();
   if (cells_.back().size() >= headers_.size()) {
-    throw std::logic_error("Table: too many cells in row");
+    throw InvariantError("Table: too many cells in row",
+                         "width=" + std::to_string(headers_.size()));
   }
   cells_.back().push_back(std::move(cell));
   return *this;

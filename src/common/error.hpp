@@ -33,6 +33,16 @@ class ConfigError : public Error {
       : Error(what + " [" + context + "]") {}
 };
 
+/// A broken internal invariant or API misuse that up-front validation should
+/// have made unreachable (a Table row grown past its width, a Board with no
+/// blank tile).  Reaching it is a bug in the caller, not bad user input, but
+/// it still reports with context instead of aborting the host process.
+class InvariantError : public Error {
+ public:
+  InvariantError(const std::string& what, const std::string& context)
+      : Error(what + " [" + context + "]") {}
+};
+
 /// An engine invariant violated at run time (a transfer from a non-splittable
 /// donor, work lost during fault recovery, every PE dead with work
 /// outstanding).  Carries the scheme name, machine size, and simulated cycle.

@@ -22,9 +22,10 @@
 
 #include <cstdint>
 #include <deque>
-#include <stdexcept>
+#include <string>
 #include <vector>
 
+#include "common/error.hpp"
 #include "search/problem.hpp"
 #include "search/splitter.hpp"
 #include "search/work_stack.hpp"
@@ -72,9 +73,9 @@ class MimdEngine {
 
   MimdEngine(const P& problem, std::uint32_t p, MimdConfig cfg)
       : problem_(problem), p_(p), cfg_(cfg) {
-    if (p_ == 0) throw std::invalid_argument("MimdEngine: need >= 1 PE");
+    if (p_ == 0) throw ConfigError("MimdEngine: need >= 1 PE", "P=0");
     if (cfg_.latency == 0) {
-      throw std::invalid_argument("MimdEngine: latency must be >= 1");
+      throw ConfigError("MimdEngine: latency must be >= 1", "latency=0");
     }
   }
 

@@ -1,7 +1,8 @@
 #include "puzzle/board.hpp"
 
 #include <sstream>
-#include <stdexcept>
+
+#include "common/error.hpp"
 
 namespace simdts::puzzle {
 
@@ -24,7 +25,9 @@ Board Board::from_tiles(const std::array<std::uint8_t, kCells>& tiles) {
   for (int pos = 0; pos < kCells; ++pos) {
     const std::uint8_t t = tiles[static_cast<std::size_t>(pos)];
     if (t >= kCells || (seen & (1u << t)) != 0) {
-      throw std::invalid_argument("Board: tiles must be a permutation of 0..15");
+      throw ConfigError("Board: tiles must be a permutation of 0..15",
+                        "tile=" + std::to_string(t) + " pos=" +
+                            std::to_string(pos));
     }
     seen |= 1u << t;
     packed |= static_cast<std::uint64_t>(t) << (4 * pos);
@@ -36,7 +39,7 @@ int Board::blank_position() const {
   for (int pos = 0; pos < kCells; ++pos) {
     if (tile(pos) == 0) return pos;
   }
-  throw std::logic_error("Board: no blank tile");
+  throw InvariantError("Board: no blank tile", to_string());
 }
 
 std::array<std::uint8_t, kCells> Board::tiles() const {

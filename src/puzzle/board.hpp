@@ -46,7 +46,7 @@ class Board {
   constexpr explicit Board(std::uint64_t packed) : packed_(packed) {}
 
   /// Builds a board from 16 tile values (position-major; value 0 = blank).
-  /// Throws std::invalid_argument unless the values are a permutation of
+  /// Throws simdts::ConfigError unless the values are a permutation of
   /// 0..15.
   static Board from_tiles(const std::array<std::uint8_t, kCells>& tiles);
 

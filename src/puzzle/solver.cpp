@@ -1,6 +1,8 @@
 #include "puzzle/solver.hpp"
 
-#include <stdexcept>
+#include <string>
+
+#include "common/error.hpp"
 
 namespace simdts::puzzle {
 
@@ -84,7 +86,8 @@ Board replay(const Board& start, const std::vector<Move>& moves) {
   for (const Move m : moves) {
     const auto next = board.apply(m, blank);
     if (!next.has_value()) {
-      throw std::invalid_argument("replay: illegal move in sequence");
+      throw ConfigError("replay: illegal move in sequence",
+                        "move=" + std::to_string(static_cast<int>(m)));
     }
     board = *next;
   }

@@ -1,12 +1,15 @@
 #include "queens/queens.hpp"
 
-#include <stdexcept>
+#include <string>
+
+#include "common/error.hpp"
 
 namespace simdts::queens {
 
 Queens::Queens(int n) : n_(n) {
   if (n < 1 || n > 16) {
-    throw std::invalid_argument("Queens: board size must be in [1, 16]");
+    throw ConfigError("Queens: board size must be in [1, 16]",
+                      "n=" + std::to_string(n));
   }
   full_ = (n == 32) ? ~0u : ((1u << n) - 1u);
 }
@@ -17,7 +20,8 @@ std::uint64_t Queens::known_solutions(int n) {
       0,      1,      0,       0,       2,      10,     4,      40,
       92,     352,    724,     2680,    14200,  73712,  365596, 2279184};
   if (n < 1 || n > 15) {
-    throw std::invalid_argument("Queens: known count available for n in [1, 15]");
+    throw ConfigError("Queens: known count available for n in [1, 15]",
+                      "n=" + std::to_string(n));
   }
   return kCounts[n];
 }

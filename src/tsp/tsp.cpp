@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <limits>
 #include <numeric>
-#include <stdexcept>
+#include <string>
+
+#include "common/error.hpp"
 
 namespace simdts::tsp {
 
@@ -21,10 +23,12 @@ std::uint64_t splitmix64(std::uint64_t& state) {
 
 Tsp::Tsp(int n, std::uint64_t seed, std::int32_t max_distance) : n_(n) {
   if (n < 1 || n > kMaxCities) {
-    throw std::invalid_argument("Tsp: city count must be in [1, 16]");
+    throw ConfigError("Tsp: city count must be in [1, 16]",
+                      "n=" + std::to_string(n));
   }
   if (max_distance < 1) {
-    throw std::invalid_argument("Tsp: max_distance must be positive");
+    throw ConfigError("Tsp: max_distance must be positive",
+                      "max_distance=" + std::to_string(max_distance));
   }
   std::uint64_t state = seed ^ 0xC2B2AE3D27D4EB4FULL;
   for (int a = 0; a < n_; ++a) {
@@ -40,19 +44,26 @@ Tsp::Tsp(int n, std::uint64_t seed, std::int32_t max_distance) : n_(n) {
 
 Tsp::Tsp(int n, const std::vector<std::int32_t>& distances) : n_(n) {
   if (n < 1 || n > kMaxCities) {
-    throw std::invalid_argument("Tsp: city count must be in [1, 16]");
+    throw ConfigError("Tsp: city count must be in [1, 16]",
+                      "n=" + std::to_string(n));
   }
   if (distances.size() != static_cast<std::size_t>(n) * n) {
-    throw std::invalid_argument("Tsp: distance matrix must be n x n");
+    throw ConfigError("Tsp: distance matrix must be n x n",
+                      "n=" + std::to_string(n) + " entries=" +
+                          std::to_string(distances.size()));
   }
   for (int a = 0; a < n_; ++a) {
     for (int b = 0; b < n_; ++b) {
       const std::int32_t d = distances[static_cast<std::size_t>(a) * n + b];
       if (a == b && d != 0) {
-        throw std::invalid_argument("Tsp: diagonal must be zero");
+        throw ConfigError("Tsp: diagonal must be zero",
+                          "a=" + std::to_string(a) + " d=" +
+                              std::to_string(d));
       }
       if (d != distances[static_cast<std::size_t>(b) * n + a]) {
-        throw std::invalid_argument("Tsp: matrix must be symmetric");
+        throw ConfigError("Tsp: matrix must be symmetric",
+                          "a=" + std::to_string(a) + " b=" +
+                              std::to_string(b));
       }
       dist_[static_cast<std::size_t>(a) * kMaxCities + b] = d;
     }
@@ -72,7 +83,8 @@ void Tsp::finish_setup() {
 
 std::int32_t Tsp::brute_force_optimal() const {
   if (n_ > 12) {
-    throw std::invalid_argument("Tsp: brute force capped at 12 cities");
+    throw ConfigError("Tsp: brute force capped at 12 cities",
+                      "n=" + std::to_string(n_));
   }
   if (n_ == 1) return 0;
   std::vector<int> perm(static_cast<std::size_t>(n_) - 1);

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "common/error.hpp"
+
 #include <set>
 #include <stdexcept>
 
@@ -29,14 +31,14 @@ TEST(Board, FromTilesRejectsDuplicates) {
   std::array<std::uint8_t, kCells> tiles{};
   for (int i = 0; i < kCells; ++i) tiles[i] = static_cast<std::uint8_t>(i);
   tiles[5] = 4;  // duplicate 4, missing 5
-  EXPECT_THROW(Board::from_tiles(tiles), std::invalid_argument);
+  EXPECT_THROW(Board::from_tiles(tiles), ConfigError);
 }
 
 TEST(Board, FromTilesRejectsOutOfRange) {
   std::array<std::uint8_t, kCells> tiles{};
   for (int i = 0; i < kCells; ++i) tiles[i] = static_cast<std::uint8_t>(i);
   tiles[3] = 16;
-  EXPECT_THROW(Board::from_tiles(tiles), std::invalid_argument);
+  EXPECT_THROW(Board::from_tiles(tiles), ConfigError);
 }
 
 TEST(Board, IllegalMovesAtCorners) {

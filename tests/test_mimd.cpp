@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "common/error.hpp"
+
 #include <tuple>
 
 #include "puzzle/fifteen.hpp"
@@ -19,11 +21,11 @@ using search::kUnbounded;
 TEST(Mimd, RejectsBadConfig) {
   const queens::Queens q(6);
   EXPECT_THROW(MimdEngine<queens::Queens>(q, 0, MimdConfig{}),
-               std::invalid_argument);
+               ConfigError);
   MimdConfig zero_latency;
   zero_latency.latency = 0;
   EXPECT_THROW(MimdEngine<queens::Queens>(q, 4, zero_latency),
-               std::invalid_argument);
+               ConfigError);
 }
 
 using ConsParam = std::tuple<StealPolicy, std::uint32_t /*P*/,

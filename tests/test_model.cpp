@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "common/error.hpp"
+
 #include <cmath>
 
 namespace simdts::analysis {
@@ -22,8 +24,8 @@ TEST(SplitLog, WorseAlphaNeedsMoreTransfers) {
 }
 
 TEST(SplitLog, RejectsBadAlpha) {
-  EXPECT_THROW((void)split_log(100.0, 0.0), std::invalid_argument);
-  EXPECT_THROW((void)split_log(100.0, 1.0), std::invalid_argument);
+  EXPECT_THROW((void)split_log(100.0, 0.0), ConfigError);
+  EXPECT_THROW((void)split_log(100.0, 1.0), ConfigError);
 }
 
 TEST(OptimalTrigger, ReproducesPaperTable2Column) {

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "common/error.hpp"
+
 #include <set>
 
 #include "search/serial.hpp"
@@ -10,8 +12,8 @@ namespace simdts::queens {
 namespace {
 
 TEST(Queens, RejectsBadSizes) {
-  EXPECT_THROW(Queens(0), std::invalid_argument);
-  EXPECT_THROW(Queens(17), std::invalid_argument);
+  EXPECT_THROW(Queens(0), ConfigError);
+  EXPECT_THROW(Queens(17), ConfigError);
 }
 
 TEST(Queens, RootIsEmptyBoard) {
@@ -60,8 +62,8 @@ TEST(Queens, KnownSolutionTable) {
   EXPECT_EQ(Queens::known_solutions(4), 2u);
   EXPECT_EQ(Queens::known_solutions(8), 92u);
   EXPECT_EQ(Queens::known_solutions(12), 14200u);
-  EXPECT_THROW((void)Queens::known_solutions(0), std::invalid_argument);
-  EXPECT_THROW((void)Queens::known_solutions(16), std::invalid_argument);
+  EXPECT_THROW((void)Queens::known_solutions(0), ConfigError);
+  EXPECT_THROW((void)Queens::known_solutions(16), ConfigError);
 }
 
 TEST(Queens, GoalNodesAreDistinctPlacements) {

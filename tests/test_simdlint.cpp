@@ -1,0 +1,449 @@
+// The linter that guards the determinism invariant needs its own guardrails:
+// every rule is exercised with true positives AND the tricky negatives that
+// would make it cry wolf — banned tokens inside strings/comments/raw
+// strings, member calls that shadow banned names, declarations that look
+// like calls.  Suppression and baseline semantics are pinned too, since CI
+// exit codes hang off them.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "simdlint/baseline.hpp"
+#include "simdlint/lexer.hpp"
+#include "simdlint/report.hpp"
+#include "simdlint/rules.hpp"
+
+namespace {
+
+using simdlint::Finding;
+
+std::vector<Finding> lint(const std::string& path, const std::string& code) {
+  static const auto rules = simdlint::default_rules();
+  return simdlint::lint_file(simdlint::SourceFile::parse(path, code), rules);
+}
+
+/// Findings that would fail the build (not suppressed, not baselined).
+std::vector<Finding> active(const std::string& path, const std::string& code) {
+  std::vector<Finding> out;
+  for (auto& f : lint(path, code)) {
+    if (!f.suppressed) out.push_back(std::move(f));
+  }
+  return out;
+}
+
+bool has_rule(const std::vector<Finding>& fs, const std::string& rule) {
+  for (const auto& f : fs) {
+    if (f.rule == rule) return true;
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// Lexer: prose never trips code rules
+// ---------------------------------------------------------------------------
+
+TEST(SimdlintLexer, BannedTokensInCommentsAndStringsAreIgnored) {
+  const std::string code = R"--(
+// rand() in a comment is fine, as is std::random_device.
+/* block comment: srand(42); assert(false); */
+const char* msg = "call rand() and assert() and abort()";
+char c = '"';  // a quote char literal must not open a string
+int separators = 1'000'000;
+)--";
+  EXPECT_TRUE(active("src/lb/foo.cpp", code).empty());
+}
+
+TEST(SimdlintLexer, RawStringsAreBlankedButCodeAfterIsStillSeen) {
+  const std::string code = R"--(
+const char* fixture = R"(int x = rand(); assert(x);)";
+int y = std::rand();
+)--";
+  const auto fs = active("src/lb/foo.cpp", code);
+  ASSERT_EQ(fs.size(), 1u);
+  EXPECT_EQ(fs[0].rule, "no-rand");
+  EXPECT_EQ(fs[0].line, 3u);
+}
+
+TEST(SimdlintLexer, PreprocessorLinesAreExempt) {
+  const std::string code = "#include <random>\n#include <ctime>\n";
+  EXPECT_TRUE(active("src/lb/foo.cpp", code).empty());
+}
+
+TEST(SimdlintLexer, LineTextTrimsAndMatchesLineNumbers) {
+  const auto f = simdlint::SourceFile::parse("src/a.cpp",
+                                             "int a;\n   int b;  \nint c;\n");
+  EXPECT_EQ(f.line_text(2), "int b;");
+}
+
+// ---------------------------------------------------------------------------
+// D1: no-rand
+// ---------------------------------------------------------------------------
+
+TEST(SimdlintNoRand, FlagsRandSrandAndRandomDevice) {
+  EXPECT_TRUE(has_rule(active("src/a.cpp", "int x = std::rand();\n"),
+                       "no-rand"));
+  EXPECT_TRUE(has_rule(active("bench/b.cpp", "void f() { srand(42); }\n"),
+                       "no-rand"));
+  EXPECT_TRUE(has_rule(
+      active("tests/t.cpp", "std::random_device rd;\nint s = rd();\n"),
+      "no-rand"));
+}
+
+TEST(SimdlintNoRand, SeededEnginesAndMemberNamesAreFine) {
+  EXPECT_TRUE(active("src/a.cpp", "std::mt19937 rng(1234);\n").empty());
+  EXPECT_TRUE(active("src/a.cpp", "int x = obj.rand();\n").empty());
+}
+
+// ---------------------------------------------------------------------------
+// D1/D3: no-wall-clock
+// ---------------------------------------------------------------------------
+
+TEST(SimdlintWallClock, FlagsChronoClocksAndTimeCallsInSrc) {
+  EXPECT_TRUE(has_rule(
+      active("src/lb/a.cpp",
+             "auto t0 = std::chrono::steady_clock::now();\n"),
+      "no-wall-clock"));
+  EXPECT_TRUE(has_rule(active("src/simd/m.cpp", "auto t = time(nullptr);\n"),
+                       "no-wall-clock"));
+  EXPECT_TRUE(has_rule(active("src/simd/m.cpp", "auto t = std::time(0);\n"),
+                       "no-wall-clock"));
+}
+
+TEST(SimdlintWallClock, BenchRuntimeAndSimulatedClockAreExempt) {
+  const std::string wall = "auto t0 = std::chrono::steady_clock::now();\n";
+  EXPECT_TRUE(active("bench/perf.cpp", wall).empty());
+  EXPECT_TRUE(active("src/runtime/sweep.cpp", wall).empty());
+  // Member access on the simulated clock and declarations are not calls.
+  EXPECT_TRUE(active("src/lb/a.cpp", "double e = machine.time();\n").empty());
+  EXPECT_TRUE(active("src/lb/a.cpp", "MachineClock clock(3);\n").empty());
+  EXPECT_TRUE(active("src/lb/a.cpp", "double lb_time = 0.0;\n").empty());
+}
+
+// ---------------------------------------------------------------------------
+// D1: no-unordered-io-iter
+// ---------------------------------------------------------------------------
+
+namespace fixtures {
+
+const char* kIterInCsvWriter = R"--(
+#include <unordered_map>
+void write_csv(std::ostream& os) {
+  std::unordered_map<int, int> counts;
+  for (const auto& kv : counts) {
+    os << kv.first;
+  }
+}
+)--";
+
+const char* kBeginInJournal = R"--(
+void append_journal() {
+  std::unordered_set<int> seen;
+  auto it = seen.begin();
+  journal.write(*it);
+}
+)--";
+
+const char* kIterWithoutOutput = R"--(
+int sum_all() {
+  std::unordered_map<int, int> counts;
+  int s = 0;
+  for (const auto& kv : counts) s += kv.second;
+  return s;
+}
+)--";
+
+const char* kOrderedIterInWriter = R"--(
+void write_csv(std::ostream& os) {
+  std::map<int, int> counts;
+  for (const auto& kv : counts) os << kv.first;
+}
+)--";
+
+}  // namespace fixtures
+
+TEST(SimdlintUnorderedIter, FlagsIterationInOutputWritingFunctions) {
+  EXPECT_TRUE(has_rule(active("src/lb/metrics.cpp", fixtures::kIterInCsvWriter),
+                       "no-unordered-io-iter"));
+  EXPECT_TRUE(has_rule(
+      active("src/runtime/journal.cpp", fixtures::kBeginInJournal),
+      "no-unordered-io-iter"));
+}
+
+TEST(SimdlintUnorderedIter, MembershipUseAndOrderedMapsAreFine) {
+  EXPECT_TRUE(active("src/lb/metrics.cpp", fixtures::kIterWithoutOutput)
+                  .empty());
+  EXPECT_TRUE(active("src/lb/metrics.cpp", fixtures::kOrderedIterInWriter)
+                  .empty());
+}
+
+// ---------------------------------------------------------------------------
+// D1: no-pointer-order
+// ---------------------------------------------------------------------------
+
+TEST(SimdlintPointerOrder, FlagsPointerComparatorsAndPointerHash) {
+  const std::string sort_by_ptr = R"--(
+void f(std::vector<Node*>& v) {
+  std::sort(v.begin(), v.end(),
+            [](const Node* a, const Node* b) { return a < b; });
+}
+)--";
+  EXPECT_TRUE(has_rule(active("src/lb/a.cpp", sort_by_ptr),
+                       "no-pointer-order"));
+  EXPECT_TRUE(has_rule(
+      active("src/lb/a.cpp", "std::hash<Node*> h;\nauto v = h(p);\n"),
+      "no-pointer-order"));
+}
+
+TEST(SimdlintPointerOrder, ComparingFieldsThroughPointersIsFine) {
+  const std::string sort_by_field = R"--(
+void f(std::vector<Node*>& v) {
+  std::sort(v.begin(), v.end(),
+            [](const Node* a, const Node* b) { return a->id < b->id; });
+}
+)--";
+  EXPECT_TRUE(active("src/lb/a.cpp", sort_by_field).empty());
+  EXPECT_TRUE(
+      active("src/lb/a.cpp",
+             "void g(std::vector<int>& v) {\n"
+             "  std::sort(v.begin(), v.end(),\n"
+             "            [](const int a, const int b) { return a < b; });\n"
+             "}\n")
+          .empty());
+}
+
+// ---------------------------------------------------------------------------
+// D2: typed-errors
+// ---------------------------------------------------------------------------
+
+TEST(SimdlintTypedErrors, FlagsAssertAbortExitAndBareStdExceptions) {
+  EXPECT_TRUE(has_rule(active("src/lb/a.cpp", "void f() { assert(x); }\n"),
+                       "typed-errors"));
+  EXPECT_TRUE(has_rule(active("src/lb/a.cpp", "void f() { std::abort(); }\n"),
+                       "typed-errors"));
+  EXPECT_TRUE(has_rule(active("src/lb/a.cpp", "void f() { exit(1); }\n"),
+                       "typed-errors"));
+  EXPECT_TRUE(has_rule(
+      active("src/lb/a.cpp",
+             "void f() { throw std::runtime_error(\"boom\"); }\n"),
+      "typed-errors"));
+  EXPECT_TRUE(has_rule(
+      active("src/lb/a.cpp",
+             "void f() { throw std::invalid_argument(\"bad\"); }\n"),
+      "typed-errors"));
+}
+
+TEST(SimdlintTypedErrors, TypedThrowsStaticAssertAndOtherScopesAreFine) {
+  EXPECT_TRUE(active("src/lb/a.cpp",
+                     "void f() { throw ConfigError(\"bad x\", \"x=2\"); }\n")
+                  .empty());
+  EXPECT_TRUE(
+      active("src/lb/a.cpp", "static_assert(sizeof(int) == 4);\n").empty());
+  // The rule is scoped to src/: tests and benches may assert freely,
+  // and the error hierarchy itself derives from std::runtime_error.
+  EXPECT_TRUE(active("tests/t.cpp", "void f() { assert(x); }\n").empty());
+  EXPECT_TRUE(
+      active("src/common/error.hpp",
+             "#pragma once\nclass Error : public std::runtime_error {};\n")
+          .empty());
+}
+
+// ---------------------------------------------------------------------------
+// D3: lockstep-io
+// ---------------------------------------------------------------------------
+
+TEST(SimdlintLockstepIo, FlagsHostIoInSubstrateCode) {
+  const std::string io_in_loop = R"--(
+void expand_all() {
+  for (std::uint32_t pe = 0; pe < p_; ++pe) {
+    printf("lane %u\n", pe);
+  }
+}
+)--";
+  const auto fs = active("src/lb/engine_impl.cpp", io_in_loop);
+  ASSERT_TRUE(has_rule(fs, "lockstep-io"));
+  EXPECT_NE(fs[0].message.find("per-lane loop"), std::string::npos);
+  EXPECT_TRUE(has_rule(
+      active("src/simd/machine_impl.cpp", "void f() { std::cout << 1; }\n"),
+      "lockstep-io"));
+}
+
+TEST(SimdlintLockstepIo, ReportingLayersMayDoHostIo) {
+  const std::string io = "void f() { std::cout << 1; }\n";
+  EXPECT_TRUE(active("src/analysis/report_impl.cpp", io).empty());
+  EXPECT_TRUE(active("bench/common_impl.cpp", io).empty());
+}
+
+// ---------------------------------------------------------------------------
+// D4: header hygiene
+// ---------------------------------------------------------------------------
+
+TEST(SimdlintHeaders, PragmaOnceRequiredInHeaders) {
+  EXPECT_TRUE(has_rule(active("src/lb/a.hpp", "int f();\n"),
+                       "header-pragma-once"));
+  EXPECT_TRUE(has_rule(
+      active("src/lb/a.hpp",
+             "#ifndef A_HPP\n#define A_HPP\nint f();\n#endif\n"),
+      "header-pragma-once"));
+  // A leading comment block before the pragma is the repo idiom.
+  EXPECT_TRUE(active("src/lb/a.hpp",
+                     "// Doc comment.\n#pragma once\nint f();\n")
+                  .empty());
+  // Sources don't need the pragma.
+  EXPECT_FALSE(has_rule(active("src/lb/a.cpp", "int f() { return 1; }\n"),
+                        "header-pragma-once"));
+}
+
+TEST(SimdlintHeaders, UsingNamespaceAtNamespaceScopeInHeader) {
+  EXPECT_TRUE(has_rule(
+      active("src/lb/a.hpp", "#pragma once\nusing namespace std;\n"),
+      "header-using-namespace"));
+  EXPECT_TRUE(has_rule(
+      active("src/lb/a.hpp",
+             "#pragma once\nnamespace foo {\nusing namespace std;\n}\n"),
+      "header-using-namespace"));
+  // Function-local using directives and .cpp files are fine.
+  EXPECT_TRUE(active("src/lb/a.hpp",
+                     "#pragma once\ninline void f() {\n"
+                     "  using namespace std;\n}\n")
+                  .empty());
+  EXPECT_TRUE(
+      active("src/lb/a.cpp", "using namespace simdts;\n").empty());
+}
+
+// ---------------------------------------------------------------------------
+// Suppressions
+// ---------------------------------------------------------------------------
+
+TEST(SimdlintSuppression, SameLineAndPreviousLineDirectivesWork) {
+  const auto same =
+      lint("src/a.cpp", "int x = std::rand();  // SIMDLINT-ALLOW(no-rand)\n");
+  ASSERT_EQ(same.size(), 1u);
+  EXPECT_TRUE(same[0].suppressed);
+
+  const auto prev = lint("src/a.cpp",
+                         "// Seeded upstream.  SIMDLINT-ALLOW(no-rand)\n"
+                         "int x = std::rand();\n");
+  ASSERT_EQ(prev.size(), 1u);
+  EXPECT_TRUE(prev[0].suppressed);
+}
+
+TEST(SimdlintSuppression, WildcardAndMultiRuleDirectives) {
+  const auto star =
+      lint("src/a.cpp", "int x = std::rand();  // SIMDLINT-ALLOW(*)\n");
+  ASSERT_EQ(star.size(), 1u);
+  EXPECT_TRUE(star[0].suppressed);
+
+  const auto multi = lint(
+      "src/lb/a.cpp",
+      "void f() { assert(std::rand()); }"
+      "  // SIMDLINT-ALLOW(no-rand, typed-errors)\n");
+  ASSERT_EQ(multi.size(), 2u);
+  EXPECT_TRUE(multi[0].suppressed);
+  EXPECT_TRUE(multi[1].suppressed);
+}
+
+TEST(SimdlintSuppression, WrongRuleIdDoesNotSuppressAndIsReportedUnused) {
+  const auto fs = lint(
+      "src/a.cpp", "int x = std::rand();  // SIMDLINT-ALLOW(no-wall-clock)\n");
+  ASSERT_EQ(fs.size(), 2u);
+  EXPECT_TRUE(has_rule(fs, "no-rand"));
+  EXPECT_TRUE(has_rule(fs, "unused-suppression"));
+  for (const auto& f : fs) EXPECT_FALSE(f.suppressed);
+}
+
+TEST(SimdlintSuppression, StaleDirectiveIsItselfAFinding) {
+  const auto fs =
+      lint("src/a.cpp", "int x = 1;  // SIMDLINT-ALLOW(no-rand)\n");
+  ASSERT_EQ(fs.size(), 1u);
+  EXPECT_EQ(fs[0].rule, "unused-suppression");
+}
+
+// ---------------------------------------------------------------------------
+// Baseline
+// ---------------------------------------------------------------------------
+
+TEST(SimdlintBaseline, FingerprintsSurviveLineDriftAndCountOccurrences) {
+  const auto before = active("src/a.cpp", "int x = std::rand();\n");
+  const auto after =
+      active("src/a.cpp", "int unrelated;\nint also;\nint x = std::rand();\n");
+  ASSERT_EQ(before.size(), 1u);
+  ASSERT_EQ(after.size(), 1u);
+  EXPECT_EQ(simdlint::fingerprints(before)[0], simdlint::fingerprints(after)[0]);
+
+  // Two identical offending lines must get distinct fingerprints.
+  const auto twice =
+      active("src/a.cpp", "int x = std::rand();\nint x = std::rand();\n");
+  ASSERT_EQ(twice.size(), 2u);
+  const auto fps = simdlint::fingerprints(twice);
+  EXPECT_NE(fps[0], fps[1]);
+}
+
+TEST(SimdlintBaseline, RoundTripAcceptsOldFindingsAndCatchesNewOnes) {
+  const auto old_findings = active("src/a.cpp", "int x = std::rand();\n");
+  std::ostringstream baseline;
+  simdlint::write_baseline(baseline, old_findings);
+  std::istringstream in(baseline.str());
+  const auto accepted = simdlint::load_baseline(in);
+  ASSERT_EQ(accepted.size(), 1u);
+
+  // The old finding matches; a new, different finding does not.
+  const auto now = active("src/a.cpp",
+                          "int x = std::rand();\nstd::random_device rd;\n");
+  const auto fps = simdlint::fingerprints(now);
+  ASSERT_EQ(now.size(), 2u);
+  int matched = 0;
+  for (const auto& fp : fps) matched += accepted.count(fp) > 0 ? 1 : 0;
+  EXPECT_EQ(matched, 1);
+}
+
+// ---------------------------------------------------------------------------
+// Reporters
+// ---------------------------------------------------------------------------
+
+TEST(SimdlintReport, JsonEscapesQuotesBackslashesAndControlChars) {
+  EXPECT_EQ(simdlint::json_escape("a\"b\\c\nd\te"),
+            "a\\\"b\\\\c\\nd\\te");
+  EXPECT_EQ(simdlint::json_escape(std::string(1, '\x01')), "\\u0001");
+}
+
+TEST(SimdlintReport, JsonReportCarriesSummaryAndFindings) {
+  const auto fs =
+      active("src/a.cpp", "int x = std::rand(); // \"quoted\" excerpt\n");
+  std::ostringstream os;
+  simdlint::json_report(os, fs, simdlint::tally(fs, 1));
+  const std::string out = os.str();
+  EXPECT_NE(out.find("\"tool\": \"simdlint\""), std::string::npos);
+  EXPECT_NE(out.find("\"rule\": \"no-rand\""), std::string::npos);
+  EXPECT_NE(out.find("\"active\": 1"), std::string::npos);
+  EXPECT_NE(out.find("\\\"quoted\\\""), std::string::npos);
+}
+
+TEST(SimdlintReport, TextReportSummarizesCounts) {
+  const auto fs = active("src/a.cpp", "int x = std::rand();\n");
+  std::ostringstream os;
+  simdlint::text_report(os, fs, simdlint::tally(fs, 1), false);
+  EXPECT_NE(os.str().find("simdlint: 1 finding"), std::string::npos);
+  EXPECT_NE(os.str().find("[no-rand]"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Rule catalog sanity
+// ---------------------------------------------------------------------------
+
+TEST(SimdlintRules, CatalogCoversAllFourDisciplines) {
+  const auto rules = simdlint::default_rules();
+  std::vector<std::string> ids;
+  ids.reserve(rules.size());
+  for (const auto& r : rules) ids.push_back(r->id());
+  for (const char* expected :
+       {"no-rand", "no-wall-clock", "no-unordered-io-iter", "no-pointer-order",
+        "typed-errors", "lockstep-io", "header-pragma-once",
+        "header-using-namespace"}) {
+    EXPECT_NE(std::find(ids.begin(), ids.end(), expected), ids.end())
+        << expected;
+  }
+}
+
+}  // namespace

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "common/error.hpp"
+
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
@@ -11,7 +13,7 @@ namespace simdts::analysis {
 namespace {
 
 TEST(Table, RejectsEmptyHeader) {
-  EXPECT_THROW(Table({}), std::invalid_argument);
+  EXPECT_THROW(Table({}), ConfigError);
 }
 
 TEST(Table, AlignsColumns) {
@@ -31,13 +33,13 @@ TEST(Table, AlignsColumns) {
 TEST(Table, RowOverflowThrows) {
   Table t({"a", "b"});
   t.row().add(1).add(2);
-  EXPECT_THROW(t.add(3), std::logic_error);
+  EXPECT_THROW(t.add(3), InvariantError);
 }
 
 TEST(Table, IncompleteRowDetectedOnNextRow) {
   Table t({"a", "b"});
   t.row().add(1);
-  EXPECT_THROW(t.row(), std::logic_error);
+  EXPECT_THROW(t.row(), InvariantError);
 }
 
 TEST(Table, DoubleFormatting) {

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "common/error.hpp"
+
 #include <tuple>
 
 #include "lb/engine.hpp"
@@ -13,15 +15,15 @@ namespace {
 using search::kUnbounded;
 
 TEST(Tsp, RejectsBadArguments) {
-  EXPECT_THROW(Tsp(0, 1), std::invalid_argument);
-  EXPECT_THROW(Tsp(17, 1), std::invalid_argument);
-  EXPECT_THROW(Tsp(3, std::vector<std::int32_t>{1, 2}), std::invalid_argument);
+  EXPECT_THROW(Tsp(0, 1), ConfigError);
+  EXPECT_THROW(Tsp(17, 1), ConfigError);
+  EXPECT_THROW(Tsp(3, std::vector<std::int32_t>{1, 2}), ConfigError);
   // Asymmetric matrix.
   EXPECT_THROW(Tsp(2, std::vector<std::int32_t>{0, 1, 2, 0}),
-               std::invalid_argument);
+               ConfigError);
   // Non-zero diagonal.
   EXPECT_THROW(Tsp(2, std::vector<std::int32_t>{1, 5, 5, 0}),
-               std::invalid_argument);
+               ConfigError);
 }
 
 TEST(Tsp, DistancesAreSymmetricAndSeeded) {

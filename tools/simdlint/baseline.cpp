@@ -1,0 +1,83 @@
+#include "simdlint/baseline.hpp"
+
+#include <cstdint>
+#include <istream>
+#include <map>
+#include <ostream>
+#include <sstream>
+
+#include "simdlint/report.hpp"
+
+namespace simdlint {
+
+namespace {
+
+// FNV-1a over the normalized excerpt: stable across line-number drift.
+std::string hash_hex(const std::string& s) {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;
+  }
+  std::ostringstream os;
+  os << std::hex << h;
+  return os.str();
+}
+
+}  // namespace
+
+std::string fingerprint(const Finding& f, std::size_t occurrence) {
+  std::ostringstream os;
+  os << f.rule << '|' << f.path << '|' << hash_hex(f.excerpt) << '|'
+     << occurrence;
+  return os.str();
+}
+
+std::vector<std::string> fingerprints(const std::vector<Finding>& findings) {
+  std::map<std::string, std::size_t> seen;  // rule|path|hash -> count
+  std::vector<std::string> out;
+  out.reserve(findings.size());
+  for (const Finding& f : findings) {
+    const std::string key = f.rule + '|' + f.path + '|' + hash_hex(f.excerpt);
+    out.push_back(fingerprint(f, seen[key]++));
+  }
+  return out;
+}
+
+std::set<std::string> load_baseline(std::istream& in) {
+  // Tolerant scan for "fingerprint": "..." pairs; the file is machine
+  // written, so full JSON parsing buys nothing.
+  std::set<std::string> out;
+  std::string text((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  static const std::string kKey = "\"fingerprint\"";
+  std::size_t pos = 0;
+  while ((pos = text.find(kKey, pos)) != std::string::npos) {
+    pos += kKey.size();
+    const std::size_t open = text.find('"', text.find(':', pos));
+    if (open == std::string::npos) break;
+    const std::size_t close = text.find('"', open + 1);
+    if (close == std::string::npos) break;
+    out.insert(text.substr(open + 1, close - open - 1));
+    pos = close + 1;
+  }
+  return out;
+}
+
+void write_baseline(std::ostream& out, const std::vector<Finding>& findings) {
+  const std::vector<std::string> fps = fingerprints(findings);
+  out << "{\n  \"version\": 1,\n  \"findings\": [";
+  bool first = true;
+  for (std::size_t i = 0; i < findings.size(); ++i) {
+    if (findings[i].suppressed) continue;
+    if (!first) out << ",";
+    first = false;
+    out << "\n    {\"fingerprint\": \"" << json_escape(fps[i])
+        << "\", \"rule\": \"" << json_escape(findings[i].rule)
+        << "\", \"path\": \"" << json_escape(findings[i].path)
+        << "\", \"line\": " << findings[i].line << "}";
+  }
+  out << "\n  ]\n}\n";
+}
+
+}  // namespace simdlint

@@ -1,0 +1,35 @@
+// simdlint's baseline layer: accepted findings that don't fail the build.
+//
+// A baseline lets the linter land in a tree with pre-existing findings and
+// still gate *new* ones: every finding is reduced to a stable fingerprint —
+// rule id, repo-relative path, a hash of the trimmed source line, and an
+// occurrence index among identical lines — so findings survive unrelated
+// line-number drift but die with the code that caused them.  The file is
+// machine-written JSON (`--write-baseline`); the reader is deliberately
+// tolerant and only extracts fingerprints.
+#pragma once
+
+#include <iosfwd>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "simdlint/rules.hpp"
+
+namespace simdlint {
+
+/// Stable identity of a finding. `occurrence` disambiguates repeated
+/// identical lines within one file (0-based, in line order).
+std::string fingerprint(const Finding& f, std::size_t occurrence);
+
+/// Assign occurrence indices and fingerprints for a full, sorted finding
+/// list (all files).  Returns fingerprints parallel to `findings`.
+std::vector<std::string> fingerprints(const std::vector<Finding>& findings);
+
+/// Read a baseline file previously written by write_baseline.
+std::set<std::string> load_baseline(std::istream& in);
+
+/// Write the (unsuppressed) findings as a baseline JSON document.
+void write_baseline(std::ostream& out, const std::vector<Finding>& findings);
+
+}  // namespace simdlint

@@ -1,0 +1,283 @@
+#include "simdlint/lexer.hpp"
+
+#include <cctype>
+
+namespace simdlint {
+
+namespace {
+
+bool is_ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+bool is_ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+// True when the quote at `i` opens a raw string: the identifier characters
+// immediately before it must form one of the raw-string prefixes.
+bool is_raw_string_open(const std::string& s, std::size_t i) {
+  if (s[i] != '"') return false;
+  std::size_t b = i;
+  while (b > 0 && is_ident_char(s[b - 1])) --b;
+  const std::string prefix = s.substr(b, i - b);
+  if (b > 0 && is_ident_char(s[b - 1])) return false;
+  return prefix == "R" || prefix == "u8R" || prefix == "uR" || prefix == "LR" ||
+         prefix == "UR";
+}
+
+// Harvest SIMDLINT-ALLOW suppression directives — a comma-separated rule
+// list in parentheses — from one line's worth of comment text.
+void scan_allow_directives(const std::string& comment, std::size_t line,
+                           std::map<std::size_t, std::set<std::string>>& out) {
+  static const std::string kTag = "SIMDLINT-ALLOW(";
+  std::size_t pos = 0;
+  while ((pos = comment.find(kTag, pos)) != std::string::npos) {
+    const std::size_t open = pos + kTag.size();
+    const std::size_t close = comment.find(')', open);
+    pos = open;
+    if (close == std::string::npos) continue;
+    std::string rule;
+    auto flush = [&] {
+      while (!rule.empty() && rule.back() == ' ') rule.pop_back();
+      if (!rule.empty()) out[line].insert(rule);
+      rule.clear();
+    };
+    for (std::size_t i = open; i < close; ++i) {
+      const char c = comment[i];
+      if (c == ',') {
+        flush();
+      } else if (c != ' ' || !rule.empty()) {
+        rule.push_back(c);
+      }
+    }
+    flush();
+  }
+}
+
+}  // namespace
+
+SourceFile SourceFile::parse(std::string path, std::string text) {
+  SourceFile f;
+  f.path = std::move(path);
+  f.raw = std::move(text);
+  f.code = f.raw;
+
+  enum class State {
+    kNormal,
+    kLineComment,
+    kBlockComment,
+    kString,
+    kChar,
+    kRawString,
+  };
+
+  State state = State::kNormal;
+  std::size_t line = 1;
+  std::string raw_close;            // ")tag\"" that ends the raw string
+  std::string comment_line_text;    // comment text accumulated on this line
+  std::size_t comment_line = 1;     // line the accumulated text belongs to
+  const std::string& s = f.raw;
+
+  auto flush_comment_line = [&] {
+    if (!comment_line_text.empty()) {
+      scan_allow_directives(comment_line_text, comment_line, f.allows);
+      comment_line_text.clear();
+    }
+  };
+
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    const char c = s[i];
+    if (c == '\n') {
+      flush_comment_line();
+      ++line;
+      comment_line = line;
+      if (state == State::kLineComment) state = State::kNormal;
+      continue;  // newlines survive in every state
+    }
+    switch (state) {
+      case State::kNormal:
+        if (c == '/' && i + 1 < s.size() && s[i + 1] == '/') {
+          state = State::kLineComment;
+          comment_line = line;
+          f.code[i] = ' ';
+          f.code[i + 1] = ' ';
+          ++i;
+        } else if (c == '/' && i + 1 < s.size() && s[i + 1] == '*') {
+          state = State::kBlockComment;
+          comment_line = line;
+          f.code[i] = ' ';
+          f.code[i + 1] = ' ';
+          ++i;
+        } else if (is_raw_string_open(s, i)) {
+          // R"tag( ... )tag" — find the delimiter, then blank to the close.
+          std::size_t p = i + 1;
+          std::string tag;
+          while (p < s.size() && s[p] != '(') tag.push_back(s[p++]);
+          raw_close = ")" + tag + "\"";
+          state = State::kRawString;
+          // Keep the opening quote; blank the tag and '(' so the tokenizer
+          // sees an empty "" literal.
+          for (std::size_t k = i + 1; k <= p && k < s.size(); ++k) {
+            f.code[k] = ' ';
+          }
+          i = p;
+        } else if (c == '"') {
+          state = State::kString;
+        } else if (c == '\'' && (i == 0 || !is_ident_char(s[i - 1]))) {
+          // An apostrophe after an identifier/number character is a digit
+          // separator (1'000), not a char literal.
+          state = State::kChar;
+        }
+        break;
+      case State::kLineComment:
+      case State::kBlockComment:
+        if (state == State::kBlockComment && c == '*' && i + 1 < s.size() &&
+            s[i + 1] == '/') {
+          f.code[i] = ' ';
+          f.code[i + 1] = ' ';
+          ++i;
+          state = State::kNormal;
+        } else {
+          comment_line_text.push_back(c);
+          f.code[i] = ' ';
+        }
+        break;
+      case State::kString:
+      case State::kChar: {
+        const char quote = state == State::kString ? '"' : '\'';
+        if (c == '\\' && i + 1 < s.size()) {
+          f.code[i] = ' ';
+          if (s[i + 1] != '\n') f.code[i + 1] = ' ';
+          ++i;
+        } else if (c == quote) {
+          state = State::kNormal;  // keep the closing quote
+        } else {
+          f.code[i] = ' ';
+        }
+        break;
+      }
+      case State::kRawString:
+        if (c == ')' && s.compare(i, raw_close.size(), raw_close) == 0) {
+          // Blank ")tag", keep the closing quote.
+          for (std::size_t k = i; k + 1 < i + raw_close.size(); ++k) {
+            f.code[k] = ' ';
+          }
+          i += raw_close.size() - 1;
+          state = State::kNormal;
+        } else {
+          f.code[i] = ' ';
+        }
+        break;
+    }
+  }
+  flush_comment_line();
+  f.line_count = line;
+
+  // Mark preprocessor lines: a line whose first non-blank character in the
+  // comment-stripped view is '#', plus backslash-continuation lines.
+  std::vector<bool> preproc_line(line + 2, false);
+  {
+    std::size_t ln = 1;
+    bool at_line_start = true;
+    bool in_preproc = false;
+    for (std::size_t i = 0; i < f.code.size(); ++i) {
+      const char c = f.code[i];
+      if (c == '\n') {
+        const bool continued = i > 0 && f.raw[i - 1] == '\\';
+        if (in_preproc && !continued) in_preproc = false;
+        ++ln;
+        at_line_start = true;
+        if (in_preproc && ln < preproc_line.size()) preproc_line[ln] = true;
+        continue;
+      }
+      if (at_line_start && c != ' ' && c != '\t') {
+        at_line_start = false;
+        if (c == '#' && !in_preproc) {
+          in_preproc = true;
+          preproc_line[ln] = true;
+        }
+      }
+    }
+  }
+
+  // Tokenize the blanked view.
+  const std::string& code = f.code;
+  std::size_t ln = 1;
+  for (std::size_t i = 0; i < code.size();) {
+    const char c = code[i];
+    if (c == '\n') {
+      ++ln;
+      ++i;
+      continue;
+    }
+    if (c == ' ' || c == '\t' || c == '\r' || c == '\v' || c == '\f') {
+      ++i;
+      continue;
+    }
+    Token t;
+    t.line = ln;
+    t.preproc = ln < preproc_line.size() && preproc_line[ln];
+    if (is_ident_start(c)) {
+      std::size_t b = i;
+      while (i < code.size() && is_ident_char(code[i])) ++i;
+      t.text = code.substr(b, i - b);
+      t.ident = true;
+    } else if (std::isdigit(static_cast<unsigned char>(c)) != 0) {
+      // pp-number: digits, idents, quotes-as-separators, exponent signs.
+      std::size_t b = i;
+      while (i < code.size() &&
+             (is_ident_char(code[i]) || code[i] == '\'' || code[i] == '.' ||
+              ((code[i] == '+' || code[i] == '-') && i > b &&
+               (code[i - 1] == 'e' || code[i - 1] == 'E' ||
+                code[i - 1] == 'p' || code[i - 1] == 'P')))) {
+        ++i;
+      }
+      t.text = code.substr(b, i - b);
+    } else if (c == ':' && i + 1 < code.size() && code[i + 1] == ':') {
+      t.text = "::";
+      i += 2;
+    } else if (c == '-' && i + 1 < code.size() && code[i + 1] == '>') {
+      t.text = "->";
+      i += 2;
+    } else {
+      t.text = std::string(1, c);
+      ++i;
+    }
+    f.tokens.push_back(std::move(t));
+  }
+  return f;
+}
+
+std::string SourceFile::line_text(std::size_t line1) const {
+  std::size_t cur = 1;
+  std::size_t begin = 0;
+  for (std::size_t i = 0; i <= raw.size(); ++i) {
+    if (i == raw.size() || raw[i] == '\n') {
+      if (cur == line1) {
+        std::size_t end = i;
+        while (begin < end && (raw[begin] == ' ' || raw[begin] == '\t')) {
+          ++begin;
+        }
+        while (end > begin &&
+               (raw[end - 1] == ' ' || raw[end - 1] == '\t' ||
+                raw[end - 1] == '\r')) {
+          --end;
+        }
+        return raw.substr(begin, end - begin);
+      }
+      ++cur;
+      begin = i + 1;
+    }
+  }
+  return {};
+}
+
+bool SourceFile::is_header() const {
+  const auto dot = path.rfind('.');
+  if (dot == std::string::npos) return false;
+  const std::string ext = path.substr(dot);
+  return ext == ".hpp" || ext == ".h" || ext == ".hh" || ext == ".hxx";
+}
+
+}  // namespace simdlint

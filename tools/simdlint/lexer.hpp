@@ -1,0 +1,57 @@
+// simdlint's lexical layer: turn a C++ source file into something rules can
+// trust.
+//
+// Every rule in this linter is a statement about *code*, never about prose —
+// a `rand()` inside a string literal or a comment must not trip the
+// determinism rules, and a SIMDLINT-ALLOW directive lives only in
+// comments.  So the lexer produces three views of a file:
+//
+//   1. `code`: the raw text with comment bodies and string/char literal
+//      contents blanked to spaces.  Line structure is preserved exactly
+//      (newlines survive even inside raw strings), so a byte offset in
+//      `code` maps to the same line as in `raw`.
+//   2. `tokens`: identifiers, numbers and punctuation lexed from `code`,
+//      each tagged with its 1-based line and whether it sits on a
+//      preprocessor directive line.
+//   3. `allows`: the SIMDLINT-ALLOW suppression directives harvested from
+//      comment text, keyed by the line the directive starts on.
+//
+// The lexer handles //- and /**/-comments, ordinary string and char
+// literals with escapes, raw strings (R"tag(...)tag", with encoding
+// prefixes), and digit separators (1'000 is a number, not a char literal).
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace simdlint {
+
+struct Token {
+  std::string text;
+  std::size_t line = 1;  // 1-based line of the first character
+  bool ident = false;    // identifier or keyword
+  bool preproc = false;  // token lies on a preprocessor directive line
+};
+
+struct SourceFile {
+  std::string path;  // repo-relative, '/'-separated
+  std::string raw;   // original text
+  std::string code;  // comments and literal contents blanked
+  std::vector<Token> tokens;
+  // line -> rule ids allowed on that line (and the next); "*" allows all.
+  std::map<std::size_t, std::set<std::string>> allows;
+  std::size_t line_count = 0;
+
+  /// Lex `text`; `path` is kept verbatim for reporting and rule scoping.
+  static SourceFile parse(std::string path, std::string text);
+
+  /// The raw text of a 1-based line, with surrounding whitespace trimmed.
+  [[nodiscard]] std::string line_text(std::size_t line1) const;
+
+  [[nodiscard]] bool is_header() const;
+};
+
+}  // namespace simdlint

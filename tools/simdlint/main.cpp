@@ -1,0 +1,214 @@
+// simdlint CLI — determinism & lockstep-discipline linting for this repo.
+//
+// Usage:
+//   simdlint [--repo-root DIR] [--baseline FILE] [--write-baseline FILE]
+//            [--json FILE|-] [--list-rules] [--verbose] [paths...]
+//
+// With no paths, lints the default roots (src bench tests tools examples)
+// under the repo root.  Exit status: 0 when no *active* findings remain
+// after SIMDLINT-ALLOW suppressions and the baseline; 1 when active
+// findings exist; 2 on usage or I/O errors.  File discovery and reporting
+// are byte-deterministic: paths are walked in sorted order.
+#include <algorithm>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "simdlint/baseline.hpp"
+#include "simdlint/lexer.hpp"
+#include "simdlint/report.hpp"
+#include "simdlint/rules.hpp"
+
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr const char* kDefaultRoots[] = {"src", "bench", "tests", "tools",
+                                         "examples"};
+
+bool lintable_extension(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".cpp" || ext == ".cc" || ext == ".cxx" || ext == ".hpp" ||
+         ext == ".h" || ext == ".hh" || ext == ".hxx";
+}
+
+bool skip_dir(const std::string& name) {
+  return name.empty() || name[0] == '.' ||
+         name.compare(0, 5, "build") == 0 || name == "CMakeFiles";
+}
+
+std::string to_repo_rel(const fs::path& file, const fs::path& root) {
+  std::error_code ec;
+  fs::path rel = fs::relative(file, root, ec);
+  if (ec || rel.empty()) rel = file;
+  return rel.generic_string();
+}
+
+void collect_files(const fs::path& p, std::vector<fs::path>& out) {
+  std::error_code ec;
+  if (fs::is_regular_file(p, ec)) {
+    if (lintable_extension(p)) out.push_back(p);
+    return;
+  }
+  if (!fs::is_directory(p, ec)) return;
+  for (fs::recursive_directory_iterator it(p, ec), end; it != end;
+       it.increment(ec)) {
+    if (ec) break;
+    const fs::path& entry = it->path();
+    if (it->is_directory(ec)) {
+      if (skip_dir(entry.filename().string())) it.disable_recursion_pending();
+      continue;
+    }
+    if (it->is_regular_file(ec) && lintable_extension(entry)) {
+      out.push_back(entry);
+    }
+  }
+}
+
+int usage(std::ostream& out, int code) {
+  out << "usage: simdlint [options] [paths...]\n"
+         "  --repo-root DIR        root for rule scoping (default: .)\n"
+         "  --baseline FILE        accept findings listed in FILE\n"
+         "  --write-baseline FILE  write current findings as the baseline\n"
+         "  --json FILE|-          write a JSON report (- for stdout)\n"
+         "  --list-rules           print the rule catalog and exit\n"
+         "  --verbose              show suppressed and baselined findings\n"
+         "  -h, --help             this message\n";
+  return code;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string repo_root = ".";
+  std::string baseline_path;
+  std::string write_baseline_path;
+  std::string json_path;
+  bool verbose = false;
+  std::vector<std::string> inputs;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&](const char* flag) -> std::string {
+      if (i + 1 >= argc) {
+        std::cerr << "simdlint: " << flag << " needs an argument\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--repo-root") {
+      repo_root = next("--repo-root");
+    } else if (arg == "--baseline") {
+      baseline_path = next("--baseline");
+    } else if (arg == "--write-baseline") {
+      write_baseline_path = next("--write-baseline");
+    } else if (arg == "--json") {
+      json_path = next("--json");
+    } else if (arg == "--verbose" || arg == "-v") {
+      verbose = true;
+    } else if (arg == "--list-rules") {
+      for (const auto& rule : simdlint::default_rules()) {
+        std::cout << rule->id() << "\n    " << rule->summary() << "\n";
+      }
+      return 0;
+    } else if (arg == "-h" || arg == "--help") {
+      return usage(std::cout, 0);
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "simdlint: unknown option '" << arg << "'\n";
+      return usage(std::cerr, 2);
+    } else {
+      inputs.push_back(arg);
+    }
+  }
+
+  const fs::path root(repo_root);
+  std::vector<fs::path> files;
+  if (inputs.empty()) {
+    for (const char* d : kDefaultRoots) {
+      collect_files(root / d, files);
+    }
+  } else {
+    for (const std::string& in : inputs) {
+      fs::path p(in);
+      if (p.is_relative() && !fs::exists(p)) p = root / in;
+      collect_files(p, files);
+    }
+  }
+  std::sort(files.begin(), files.end(),
+            [](const fs::path& a, const fs::path& b) {
+              return a.generic_string() < b.generic_string();
+            });
+  files.erase(std::unique(files.begin(), files.end()), files.end());
+
+  const auto rules = simdlint::default_rules();
+  std::vector<simdlint::Finding> findings;
+  for (const fs::path& file : files) {
+    std::ifstream in(file, std::ios::binary);
+    if (!in) {
+      std::cerr << "simdlint: cannot read " << file << "\n";
+      return 2;
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+    const auto parsed =
+        simdlint::SourceFile::parse(to_repo_rel(file, root), text.str());
+    auto file_findings = simdlint::lint_file(parsed, rules);
+    findings.insert(findings.end(),
+                    std::make_move_iterator(file_findings.begin()),
+                    std::make_move_iterator(file_findings.end()));
+  }
+  std::sort(findings.begin(), findings.end(),
+            [](const simdlint::Finding& a, const simdlint::Finding& b) {
+              if (a.path != b.path) return a.path < b.path;
+              if (a.line != b.line) return a.line < b.line;
+              return a.rule < b.rule;
+            });
+
+  if (!write_baseline_path.empty()) {
+    std::ofstream out(write_baseline_path, std::ios::binary);
+    if (!out) {
+      std::cerr << "simdlint: cannot write " << write_baseline_path << "\n";
+      return 2;
+    }
+    simdlint::write_baseline(out, findings);
+    std::cout << "simdlint: wrote baseline with " << findings.size()
+              << " finding(s) to " << write_baseline_path << "\n";
+    return 0;
+  }
+
+  if (!baseline_path.empty()) {
+    std::ifstream in(baseline_path, std::ios::binary);
+    if (!in) {
+      std::cerr << "simdlint: cannot read baseline " << baseline_path << "\n";
+      return 2;
+    }
+    const std::set<std::string> accepted = simdlint::load_baseline(in);
+    const std::vector<std::string> fps = simdlint::fingerprints(findings);
+    for (std::size_t i = 0; i < findings.size(); ++i) {
+      if (!findings[i].suppressed && accepted.count(fps[i]) > 0) {
+        findings[i].baselined = true;
+      }
+    }
+  }
+
+  const simdlint::ReportStats stats = simdlint::tally(findings, files.size());
+  simdlint::text_report(std::cout, findings, stats, verbose);
+
+  if (!json_path.empty()) {
+    if (json_path == "-") {
+      simdlint::json_report(std::cout, findings, stats);
+    } else {
+      std::ofstream out(json_path, std::ios::binary);
+      if (!out) {
+        std::cerr << "simdlint: cannot write " << json_path << "\n";
+        return 2;
+      }
+      simdlint::json_report(out, findings, stats);
+    }
+  }
+  return stats.active == 0 ? 0 : 1;
+}

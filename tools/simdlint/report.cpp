@@ -1,0 +1,88 @@
+#include "simdlint/report.hpp"
+
+#include <ostream>
+#include <sstream>
+
+namespace simdlint {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          std::ostringstream os;
+          os << std::hex << static_cast<int>(static_cast<unsigned char>(c));
+          const std::string u = os.str();
+          out += "\\u";
+          out.append(4 - u.size(), '0');
+          out += u;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+ReportStats tally(const std::vector<Finding>& findings, std::size_t files) {
+  ReportStats s;
+  s.files = files;
+  s.total = findings.size();
+  for (const Finding& f : findings) {
+    if (f.suppressed) {
+      ++s.suppressed;
+    } else if (f.baselined) {
+      ++s.baselined;
+    } else {
+      ++s.active;
+    }
+  }
+  return s;
+}
+
+void text_report(std::ostream& out, const std::vector<Finding>& findings,
+                 const ReportStats& stats, bool verbose) {
+  for (const Finding& f : findings) {
+    if (f.suppressed && !verbose) continue;
+    if (f.baselined && !verbose) continue;
+    out << f.path << ':' << f.line << ": [" << f.rule << "] " << f.message;
+    if (f.suppressed) out << " (suppressed)";
+    if (f.baselined) out << " (baselined)";
+    out << '\n';
+    if (!f.excerpt.empty()) out << "    " << f.excerpt << '\n';
+  }
+  out << "simdlint: " << stats.active << " finding"
+      << (stats.active == 1 ? "" : "s") << " (" << stats.suppressed
+      << " suppressed, " << stats.baselined << " baselined) across "
+      << stats.files << " file" << (stats.files == 1 ? "" : "s") << '\n';
+}
+
+void json_report(std::ostream& out, const std::vector<Finding>& findings,
+                 const ReportStats& stats) {
+  out << "{\n  \"version\": 1,\n  \"tool\": \"simdlint\",\n  \"summary\": {"
+      << "\"files\": " << stats.files << ", \"total\": " << stats.total
+      << ", \"active\": " << stats.active
+      << ", \"suppressed\": " << stats.suppressed
+      << ", \"baselined\": " << stats.baselined << "},\n  \"findings\": [";
+  bool first = true;
+  for (const Finding& f : findings) {
+    if (!first) out << ",";
+    first = false;
+    out << "\n    {\"rule\": \"" << json_escape(f.rule) << "\", \"path\": \""
+        << json_escape(f.path) << "\", \"line\": " << f.line
+        << ", \"message\": \"" << json_escape(f.message)
+        << "\", \"excerpt\": \"" << json_escape(f.excerpt)
+        << "\", \"suppressed\": " << (f.suppressed ? "true" : "false")
+        << ", \"baselined\": " << (f.baselined ? "true" : "false") << "}";
+  }
+  out << "\n  ]\n}\n";
+}
+
+}  // namespace simdlint

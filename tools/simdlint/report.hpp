@@ -1,0 +1,37 @@
+// simdlint's reporting layer: text for humans, JSON for CI artifacts.
+//
+// Both reporters consume the same sorted finding list the engine produced;
+// ordering is (path, line, rule), so output is byte-stable run to run — the
+// linter holds itself to the determinism bar it enforces.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "simdlint/rules.hpp"
+
+namespace simdlint {
+
+struct ReportStats {
+  std::size_t files = 0;
+  std::size_t total = 0;       // all findings, including suppressed/baselined
+  std::size_t suppressed = 0;  // via SIMDLINT-ALLOW
+  std::size_t baselined = 0;   // matched the baseline file
+  std::size_t active = 0;      // new findings: these fail the run
+};
+
+ReportStats tally(const std::vector<Finding>& findings, std::size_t files);
+
+/// Human-readable report: one `path:line: [rule] message` block per finding,
+/// active findings first-class, suppressed/baselined mentioned in summary.
+void text_report(std::ostream& out, const std::vector<Finding>& findings,
+                 const ReportStats& stats, bool verbose);
+
+/// Machine-readable report for CI artifacts.
+void json_report(std::ostream& out, const std::vector<Finding>& findings,
+                 const ReportStats& stats);
+
+std::string json_escape(const std::string& s);
+
+}  // namespace simdlint

@@ -1,0 +1,61 @@
+// simdlint's rule layer: project-invariant checks over lexed source files.
+//
+// Every reported metric in this repo (N_expand, N_lb, V(P), efficiency) is a
+// deterministic function of simulated cycle/phase counts, and the test suite
+// pins bit-identical CSV/journal output across host thread counts.  These
+// rules machine-enforce the disciplines that keep that true:
+//
+//   D1 determinism  no-rand, no-wall-clock, no-unordered-io-iter,
+//                   no-pointer-order
+//   D2 errors       typed-errors (simdts::Error hierarchy only in src/)
+//   D3 lockstep     lockstep-io (substrate code does no host I/O; all time
+//                   flows through MachineClock — wall clocks are D1)
+//   D4 headers      header-pragma-once, header-using-namespace
+//
+// Rules operate on the blanked `code` view and token stream from lexer.hpp,
+// so banned tokens inside strings or comments never fire.  Findings carry a
+// repo-relative path, 1-based line, and the trimmed source line as excerpt.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "simdlint/lexer.hpp"
+
+namespace simdlint {
+
+struct Finding {
+  std::string rule;
+  std::string path;
+  std::size_t line = 0;  // 1-based
+  std::string message;
+  std::string excerpt;
+  bool suppressed = false;  // via SIMDLINT-ALLOW on this or previous line
+  bool baselined = false;   // matched an entry in the baseline file
+};
+
+class Rule {
+ public:
+  virtual ~Rule() = default;
+  [[nodiscard]] virtual std::string id() const = 0;
+  [[nodiscard]] virtual std::string summary() const = 0;
+  /// Whether this rule runs on the given repo-relative path at all.
+  [[nodiscard]] virtual bool applies(const std::string& path) const = 0;
+  virtual void check(const SourceFile& file,
+                     std::vector<Finding>& out) const = 0;
+};
+
+/// The full rule set this repo enforces.
+std::vector<std::unique_ptr<Rule>> default_rules();
+
+/// Run every applicable rule over `file`, apply SIMDLINT-ALLOW suppressions,
+/// and report ALLOW directives that suppressed nothing (rule
+/// "unused-suppression").  Findings are sorted by (line, rule).
+std::vector<Finding> lint_file(const SourceFile& file,
+                               const std::vector<std::unique_ptr<Rule>>& rules);
+
+/// Path helpers shared by rules and the driver ('/'-separated paths).
+bool path_in_dir(const std::string& path, const std::string& dir);
+
+}  // namespace simdlint
