@@ -1,6 +1,6 @@
-// Wall-clock perf harness: times representative sweeps and the engine inner
-// loop, and emits BENCH_engine.json so every future PR has a perf
-// trajectory to compare against.
+// Wall-clock perf harness: times representative sweeps, the engine inner
+// loop, and the packed-substrate kernels, and emits BENCH_engine.json so
+// every future PR has a perf trajectory to compare against.
 //
 // What it measures (all deterministic simulations — only the wall clock
 // varies between hosts):
@@ -10,6 +10,17 @@
 //   - engine throughput: one large single-machine run, reported as expanded
 //     nodes per second of host time (the per-cycle hot path: pop/expand,
 //     incremental census, matching, transfers).
+//   - fault hooks: the engine with an *empty* FaultPlan armed, timed
+//     interleaved with unarmed runs so clock drift hits both sides equally.
+//   - kernels: byte-plane vs packed bit-plane census / enumerate / GP match
+//     / neighbor pairing, and per-node vs batched child staging — the
+//     microscopic ingredients of the engine number above.
+//
+// Timing protocol: every section runs SIMDTS_BENCH_REPS times and reports
+// the *median* wall time.  Medians are robust to the one-sided noise of a
+// shared host (a background hiccup can only slow a rep down, never speed it
+// up, so best-of underestimates and mean overestimates); the rep count is
+// recorded in the JSON next to every number it produced.
 //
 // The simulated results (counts, clocks, CSVs) are asserted identical across
 // thread counts before anything is written — a speedup obtained by changing
@@ -18,7 +29,8 @@
 // Environment knobs:
 //   SIMDTS_QUICK        reduced scale (the tier-1-friendly configuration)
 //   SIMDTS_BENCH_JSON   output path (default BENCH_engine.json)
-//   SIMDTS_BENCH_REPS   timing repetitions, best-of is reported (default 1)
+//   SIMDTS_BENCH_REPS   timing repetitions, median is reported (default 5)
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <iostream>
@@ -30,7 +42,11 @@
 #include "fault/fault.hpp"
 #include "iso_common.hpp"
 #include "lb/engine.hpp"
+#include "lb/matching.hpp"
 #include "runtime/sweep.hpp"
+#include "search/work_stack.hpp"
+#include "simd/bitplane.hpp"
+#include "simd/scan.hpp"
 #include "synthetic/tree.hpp"
 
 namespace {
@@ -40,6 +56,15 @@ using Clock = std::chrono::steady_clock;
 
 double seconds_since(Clock::time_point start) {
   return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/// Median of the samples (the timing protocol of this harness; see header
+/// comment).  Even counts average the two middle samples.
+double median(std::vector<double> v) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  const std::size_t mid = v.size() / 2;
+  return v.size() % 2 == 1 ? v[mid] : 0.5 * (v[mid - 1] + v[mid]);
 }
 
 struct SweepSample {
@@ -64,6 +89,156 @@ std::string format_json_double(double v) {
   return buf;
 }
 
+// --- Kernel micro-timings ---------------------------------------------------
+
+/// One timed kernel comparison: scalar (byte-plane) vs packed (bit-plane)
+/// median nanoseconds per call on the same occupancy pattern.
+struct KernelSample {
+  const char* name;
+  double scalar_ns = 0.0;
+  double packed_ns = 0.0;
+  [[nodiscard]] double speedup() const {
+    return packed_ns > 0.0 ? scalar_ns / packed_ns : 0.0;
+  }
+};
+
+/// Median ns/call of `iters` calls of `fn`, over `reps` repetitions.  The
+/// accumulated checksum keeps the compiler from discarding the kernel work.
+template <typename F>
+double time_kernel_ns(unsigned reps, std::size_t iters, std::uint64_t& sink,
+                      F&& fn) {
+  std::vector<double> walls;
+  walls.reserve(reps);
+  for (unsigned r = 0; r < reps; ++r) {
+    const auto start = Clock::now();
+    for (std::size_t i = 0; i < iters; ++i) sink += fn();
+    walls.push_back(seconds_since(start));
+  }
+  return median(std::move(walls)) / static_cast<double>(iters) * 1e9;
+}
+
+/// Deterministic occupancy pattern: lane i is set when the mix of (seed, i)
+/// lands under `percent` — same discipline as the synthetic tree, no host
+/// RNG state involved.
+std::vector<std::uint8_t> pattern_bytes(std::size_t n, std::uint64_t seed,
+                                        unsigned percent) {
+  std::vector<std::uint8_t> v(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    v[i] = synthetic::Tree::hash2(seed, i) % 100 < percent ? 1 : 0;
+  }
+  return v;
+}
+
+simd::BitPlane pack(const std::vector<std::uint8_t>& bytes) {
+  simd::BitPlane plane(bytes.size());
+  for (std::size_t i = 0; i < bytes.size(); ++i) {
+    plane.set(i, bytes[i] != 0);
+  }
+  return plane;
+}
+
+/// Times the packed-substrate kernels against their byte-plane references on
+/// a P-lane plane with engine-like occupancy (mostly busy, few idle).
+std::vector<KernelSample> run_kernel_benchmarks(unsigned reps,
+                                                std::size_t lanes,
+                                                std::uint64_t& sink) {
+  const auto busy = pattern_bytes(lanes, 0x605D, 85);
+  std::vector<std::uint8_t> idle(lanes);
+  for (std::size_t i = 0; i < lanes; ++i) idle[i] = busy[i] != 0 ? 0 : 1;
+  const simd::BitPlane busy_plane = pack(busy);
+  const simd::BitPlane idle_plane = pack(idle);
+  const std::size_t iters = analysis::quick_mode() ? 4000 : 20000;
+
+  std::vector<KernelSample> out;
+
+  KernelSample census{"census"};
+  census.scalar_ns = time_kernel_ns(reps, iters, sink, [&] {
+    return static_cast<std::uint64_t>(simd::count_set(busy));
+  });
+  census.packed_ns = time_kernel_ns(reps, iters, sink, [&] {
+    return static_cast<std::uint64_t>(busy_plane.count());
+  });
+  out.push_back(census);
+
+  std::vector<std::uint32_t> ranks(lanes);
+  KernelSample enumerate{"enumerate"};
+  enumerate.scalar_ns = time_kernel_ns(reps, iters, sink, [&] {
+    return static_cast<std::uint64_t>(simd::enumerate(busy, ranks));
+  });
+  enumerate.packed_ns = time_kernel_ns(reps, iters, sink, [&] {
+    return static_cast<std::uint64_t>(simd::enumerate(busy_plane, ranks));
+  });
+  out.push_back(enumerate);
+
+  // A matching phase pairs every idle lane; the pointer rotation makes each
+  // call walk a different segment, like successive lb phases.
+  const std::size_t match_iters = iters / 4;
+  std::vector<simd::Pair> pairs;
+  lb::Matcher scalar_matcher(lb::MatchScheme::kGP);
+  KernelSample match{"gp_match"};
+  match.scalar_ns = time_kernel_ns(reps, match_iters, sink, [&] {
+    scalar_matcher.match_into(busy, idle, static_cast<std::size_t>(-1),
+                              pairs);
+    return static_cast<std::uint64_t>(pairs.size());
+  });
+  lb::Matcher packed_matcher(lb::MatchScheme::kGP);
+  match.packed_ns = time_kernel_ns(reps, match_iters, sink, [&] {
+    packed_matcher.match_into(busy_plane, idle_plane,
+                              static_cast<std::size_t>(-1), pairs);
+    return static_cast<std::uint64_t>(pairs.size());
+  });
+  out.push_back(match);
+
+  KernelSample neighbor{"neighbor_pairs"};
+  neighbor.scalar_ns = time_kernel_ns(reps, match_iters, sink, [&] {
+    lb::neighbor_pairs_into(busy, idle, pairs);
+    return static_cast<std::uint64_t>(pairs.size());
+  });
+  neighbor.packed_ns = time_kernel_ns(reps, match_iters, sink, [&] {
+    lb::neighbor_pairs_into(busy_plane, idle_plane, pairs);
+    return static_cast<std::uint64_t>(pairs.size());
+  });
+  out.push_back(neighbor);
+
+  // Child staging: per-node clear+push (the old hot loop) vs flat staging
+  // buffer + batched WorkStack::append (the shipped one).  Both expand the
+  // same deterministic node stream.
+  const synthetic::Tree tree(synthetic::Params{5, 4, 0.38, 30});
+  const std::size_t expand_iters = iters;
+  search::NextBound nb;
+  const auto seed_stack = [&](search::WorkStack<synthetic::Tree::Node>& st) {
+    st.clear();
+    st.push(tree.root());
+  };
+  search::WorkStack<synthetic::Tree::Node> stack;
+  std::vector<synthetic::Tree::Node> staging;
+  KernelSample staging_sample{"child_staging"};
+  seed_stack(stack);
+  staging_sample.scalar_ns = time_kernel_ns(reps, expand_iters, sink, [&] {
+    if (stack.empty()) seed_stack(stack);
+    const synthetic::Tree::Node n = stack.pop();
+    staging.clear();
+    tree.expand(n, search::kUnbounded, staging, nb);
+    for (const auto& c : staging) stack.push(c);
+    return static_cast<std::uint64_t>(staging.size());
+  });
+  seed_stack(stack);
+  staging.clear();
+  staging_sample.packed_ns = time_kernel_ns(reps, expand_iters, sink, [&] {
+    if (stack.empty()) seed_stack(stack);
+    const synthetic::Tree::Node n = stack.pop();
+    const std::size_t staged = staging.size();
+    tree.expand(n, search::kUnbounded, staging, nb);
+    const std::size_t added = staging.size() - staged;
+    if (added != 0) stack.append(staging.data() + staged, added);
+    if (staging.size() > 4096) staging.clear();
+    return static_cast<std::uint64_t>(added);
+  });
+  out.push_back(staging_sample);
+
+  return out;
+}
+
 }  // namespace
 
 int main() {
@@ -78,34 +253,35 @@ int main() {
   const lb::SchemeConfig cfg = lb::gp_static(0.90);
   const simd::CostModel cost = simd::cm2_cost_model();
   const std::size_t grid_cells = sizes.size() * ladder.size();
-  const auto reps =
-      static_cast<unsigned>(analysis::env_u64("SIMDTS_BENCH_REPS", 1));
+  const auto reps = static_cast<unsigned>(
+      std::max<std::uint64_t>(1, analysis::env_u64("SIMDTS_BENCH_REPS", 5)));
 
   std::cout << "fig4a GP-S^0.90 grid: " << grid_cells << " cells, "
-            << "host hardware threads: " << runtime::sweep_threads() << "\n\n";
+            << "host hardware threads: " << runtime::sweep_threads()
+            << ", timing: median of " << reps << " reps\n\n";
 
   // --- Sweep scaling over the fig4 GP grid. -------------------------------
   std::vector<SweepSample> samples;
   analysis::GridResult reference;
   bool identical = true;
   for (const unsigned t : {1u, 2u, 4u, 8u}) {
-    double best = -1.0;
+    std::vector<double> walls;
     analysis::GridResult grid;
-    for (unsigned rep = 0; rep < std::max(1u, reps); ++rep) {
+    for (unsigned rep = 0; rep < reps; ++rep) {
       const auto start = Clock::now();
       grid = analysis::run_grid(cfg, ladder, sizes, cost, t);
-      const double wall = seconds_since(start);
-      if (best < 0.0 || wall < best) best = wall;
+      walls.push_back(seconds_since(start));
     }
     if (t == 1) {
       reference = grid;
     } else if (!same_grid(reference, grid)) {
       identical = false;
     }
-    samples.push_back(SweepSample{t, best, grid_nodes(grid)});
+    const double wall = median(std::move(walls));
+    samples.push_back(SweepSample{t, wall, grid_nodes(grid)});
     std::cout << "  sweep t=" << t << ": "
-              << analysis::format_double(best, 3) << " s, speedup vs 1t "
-              << analysis::format_double(samples.front().wall_s / best, 2)
+              << analysis::format_double(wall, 3) << " s, speedup vs 1t "
+              << analysis::format_double(samples.front().wall_s / wall, 2)
               << "x\n";
   }
   if (!identical) {
@@ -118,51 +294,63 @@ int main() {
 
   // --- Engine throughput: one large single-machine run. -------------------
   const auto& big = ladder.back();
-  double engine_best = -1.0;
+  std::vector<double> engine_walls;
   std::uint64_t engine_nodes = 0;
-  for (unsigned rep = 0; rep < std::max(1u, reps); ++rep) {
+  for (unsigned rep = 0; rep < reps; ++rep) {
     const synthetic::Tree tree(big.params);
     simd::Machine machine(sizes.back(), cost);
     lb::Engine<synthetic::Tree> engine(tree, machine, cfg);
     const auto start = Clock::now();
     const lb::IterationStats stats = engine.run_iteration(search::kUnbounded);
-    const double wall = seconds_since(start);
+    engine_walls.push_back(seconds_since(start));
     engine_nodes = stats.nodes_expanded;
-    if (engine_best < 0.0 || wall < engine_best) engine_best = wall;
   }
+  const double engine_wall = median(std::move(engine_walls));
   const double engine_nps =
-      engine_best > 0.0 ? static_cast<double>(engine_nodes) / engine_best
+      engine_wall > 0.0 ? static_cast<double>(engine_nodes) / engine_wall
                         : 0.0;
   std::cout << "engine single run: P = " << sizes.back() << ", W = "
             << engine_nodes << ", "
-            << analysis::format_double(engine_best, 3) << " s, "
+            << analysis::format_double(engine_wall, 3) << " s, "
             << analysis::format_double(engine_nps, 0) << " nodes/s\n";
 
-  // --- Fault hooks: unarmed vs armed-with-empty-plan. ---------------------
+  // --- Fault hooks: unarmed vs armed-with-empty-plan, interleaved. --------
   // The fault machinery must be free when unused: an engine with an *empty*
   // FaultPlan armed takes the fault-checking branches every cycle but never
   // fires an event, so its simulated results must be bit-identical to the
-  // unarmed engine (hard failure if not) and its wall time within noise
-  // (reported, not gated — wall clocks on shared CI are too wobbly to gate).
+  // unarmed engine (hard failure if not) and its wall time within noise.
+  // Each rep times an unarmed run immediately followed by an armed run, so
+  // slow drift of the host clock rate lands on both sides of the comparison;
+  // the overhead is the ratio of the two medians (reported, not gated — wall
+  // clocks on shared CI are too wobbly to gate).
   const fault::FaultPlan empty_plan;
-  double armed_best = -1.0;
+  std::vector<double> unarmed_walls;
+  std::vector<double> armed_walls;
   bool fault_identical = true;
   {
     const synthetic::Tree tree(big.params);
-    simd::Machine machine(sizes.back(), cost);
-    lb::Engine<synthetic::Tree> engine(tree, machine, cfg);
-    const lb::IterationStats unarmed =
-        engine.run_iteration(search::kUnbounded);
-    for (unsigned rep = 0; rep < std::max(1u, reps); ++rep) {
+    lb::IterationStats unarmed_ref;
+    for (unsigned rep = 0; rep < reps; ++rep) {
+      simd::Machine machine(sizes.back(), cost);
+      lb::Engine<synthetic::Tree> engine(tree, machine, cfg);
+      auto start = Clock::now();
+      const lb::IterationStats unarmed =
+          engine.run_iteration(search::kUnbounded);
+      unarmed_walls.push_back(seconds_since(start));
+      if (rep == 0) {
+        unarmed_ref = unarmed;
+      } else if (!(unarmed == unarmed_ref)) {
+        fault_identical = false;
+      }
+
       simd::Machine armed_machine(sizes.back(), cost);
       lb::Engine<synthetic::Tree> armed(tree, armed_machine, cfg);
       armed.arm_faults(&empty_plan);
-      const auto start = Clock::now();
+      start = Clock::now();
       const lb::IterationStats stats =
           armed.run_iteration(search::kUnbounded);
-      const double wall = seconds_since(start);
-      if (armed_best < 0.0 || wall < armed_best) armed_best = wall;
-      if (!(stats == unarmed)) fault_identical = false;
+      armed_walls.push_back(seconds_since(start));
+      if (!(stats == unarmed_ref)) fault_identical = false;
     }
   }
   if (!fault_identical) {
@@ -170,13 +358,32 @@ int main() {
                  "results — the fault hooks are not transparent.\n";
     return 1;
   }
+  const double unarmed_wall = median(std::move(unarmed_walls));
+  const double armed_wall = median(std::move(armed_walls));
   const double fault_overhead_pct =
-      engine_best > 0.0 ? 100.0 * (armed_best - engine_best) / engine_best
-                        : 0.0;
+      unarmed_wall > 0.0 ? 100.0 * (armed_wall - unarmed_wall) / unarmed_wall
+                         : 0.0;
   std::cout << "fault hooks (empty plan armed): "
-            << analysis::format_double(armed_best, 3) << " s, overhead "
+            << analysis::format_double(armed_wall, 3) << " s vs "
+            << analysis::format_double(unarmed_wall, 3)
+            << " s unarmed (interleaved), overhead "
             << analysis::format_double(fault_overhead_pct, 1)
-            << "% vs unarmed, results bit-identical\n";
+            << "%, results bit-identical\n\n";
+
+  // --- Substrate kernels: byte plane vs packed bit plane. -----------------
+  const std::size_t kernel_lanes = 1 << 14;
+  std::uint64_t sink = 0;
+  const std::vector<KernelSample> kernels =
+      run_kernel_benchmarks(reps, kernel_lanes, sink);
+  std::cout << "kernels (P = " << kernel_lanes
+            << " lanes, median ns/call, scalar vs packed):\n";
+  for (const KernelSample& k : kernels) {
+    std::cout << "  " << k.name << ": "
+              << analysis::format_double(k.scalar_ns, 0) << " -> "
+              << analysis::format_double(k.packed_ns, 0) << " ns ("
+              << analysis::format_double(k.speedup(), 1) << "x)\n";
+  }
+  if (sink == 0xFFFFFFFFFFFFFFFFull) std::cout << "";  // keep `sink` live
 
   // --- JSON artifact. -----------------------------------------------------
   std::ostringstream json;
@@ -184,6 +391,8 @@ int main() {
        << "  \"benchmark\": \"fig4a_gp_s90_grid\",\n"
        << "  \"quick_mode\": " << (analysis::quick_mode() ? "true" : "false")
        << ",\n"
+       << "  \"reps\": " << reps << ",\n"
+       << "  \"timing\": \"median\",\n"
        << "  \"host_hardware_threads\": " << runtime::sweep_threads() << ",\n"
        << "  \"grid_cells\": " << grid_cells << ",\n"
        << "  \"sweeps\": [\n";
@@ -204,12 +413,23 @@ int main() {
   json << "  ],\n"
        << "  \"results_identical_across_threads\": true,\n"
        << "  \"engine\": {\"p\": " << sizes.back() << ", \"nodes\": "
-       << engine_nodes << ", \"wall_s\": " << format_json_double(engine_best)
+       << engine_nodes << ", \"wall_s\": " << format_json_double(engine_wall)
        << ", \"nodes_per_s\": " << format_json_double(engine_nps) << "},\n"
-       << "  \"fault_hooks\": {\"armed_empty_wall_s\": "
-       << format_json_double(armed_best) << ", \"overhead_pct\": "
+       << "  \"fault_hooks\": {\"unarmed_wall_s\": "
+       << format_json_double(unarmed_wall) << ", \"armed_empty_wall_s\": "
+       << format_json_double(armed_wall) << ", \"overhead_pct\": "
        << format_json_double(fault_overhead_pct)
-       << ", \"results_identical\": true}\n"
+       << ", \"results_identical\": true},\n"
+       << "  \"kernels\": {\n";
+  for (std::size_t i = 0; i < kernels.size(); ++i) {
+    const KernelSample& k = kernels[i];
+    json << "    \"" << k.name << "\": {\"lanes\": " << kernel_lanes
+         << ", \"scalar_ns\": " << format_json_double(k.scalar_ns)
+         << ", \"bitplane_ns\": " << format_json_double(k.packed_ns)
+         << ", \"speedup\": " << format_json_double(k.speedup()) << "}"
+         << (i + 1 < kernels.size() ? "," : "") << "\n";
+  }
+  json << "  }\n"
        << "}\n";
 
   std::string path = "BENCH_engine.json";

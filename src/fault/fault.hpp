@@ -27,7 +27,16 @@
 #include <cstdint>
 #include <vector>
 
+#include "simd/bitplane.hpp"
+
 namespace simdts::fault {
+
+/// The dead-lane plane: one bit per lane, set while the lane is killed.
+/// Packed so the engine's expansion loop can test 64 lanes with one word
+/// load (a clear word means "no dead lane in this block" — the unarmed and
+/// fault-free paths never take a per-lane branch).  Owned by lb::Engine;
+/// the alias lives here so fault tooling and the engine agree on the type.
+using DeadLanePlane = simd::BitPlane;
 
 enum class FaultKind : std::uint8_t {
   kKillPe,

@@ -11,15 +11,21 @@
 // baselines) are expressed through SchemeConfig; the engine itself is
 // domain-independent over any TreeProblem.
 //
-// Hot-path structure: the busy/idle census (how many stacks are non-empty /
-// splittable / empty) and the per-PE busy/idle flag planes are maintained
-// incrementally — the expansion cycle classifies each stack as it touches it,
-// and work transfers reclassify exactly the donor and receiver they move
-// nodes between.  Nothing outside a load-balancing matching step scans all P
-// stacks a second time.  When the Machine carries a thread pool, a cycle is
-// spread over host lanes with per-lane accumulators (counts, goals, pruned
-// bounds) that are reduced in lane order after the barrier, so no mutex is
-// taken inside the loop and the reduction order is fixed.
+// Hot-path structure: the busy/idle flag planes are *packed bit planes*
+// (simd::BitPlane, one std::uint64_t word per 64 lanes), and the census (how
+// many stacks are non-empty / splittable / empty) is maintained incrementally
+// — the expansion cycle walks only the active lanes (one word load covers 64
+// lanes; a fully idle or dead block costs a single test) and accumulates
+// census *deltas*; work transfers reclassify exactly the donor and receiver
+// they move nodes between.  Matching enumerations are word-level
+// popcount/countr_zero walks over the same planes.  Children of a popped
+// node are staged in a flat per-lane buffer and appended to the stack in one
+// batch (one capacity check), with the staging buffer cleared once per
+// 64-lane word, not once per node.  When the Machine carries a thread pool,
+// a cycle is spread over host lanes at word granularity — no two host lanes
+// ever write the same flag word — with per-lane accumulators (counts, goals,
+// pruned bounds) that are reduced in lane order after the barrier, so no
+// mutex is taken inside the loop and the reduction order is fixed.
 //
 // Determinism: the run is a pure function of (problem, P, config, cost
 // model, fault plan).  Host threads, if provided via the Machine's pool, only
@@ -35,12 +41,14 @@
 // costed like lb phases; dropped lb messages leave the work on the donor.
 // The engine enforces a conservation invariant — every journaled node is
 // re-donated exactly once and dead lanes never expand — so a fault run
-// explores exactly the fault-free tree.  With no plan armed the fault hooks
-// reduce to one null-pointer test per cycle and the run is bit-identical to
-// the pre-fault engine.
+// explores exactly the fault-free tree.  The dead-lane plane is packed too:
+// the expansion loop masks it out one word at a time, so with no plan armed
+// (the plane all-zero) the fault machinery costs one AND per 64 lanes and
+// the run is bit-identical to the pre-fault engine.
 #pragma once
 
-#include <algorithm>
+#include <bit>
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 
@@ -53,6 +61,7 @@
 #include "search/problem.hpp"
 #include "search/splitter.hpp"
 #include "search/work_stack.hpp"
+#include "simd/bitplane.hpp"
 #include "simd/machine.hpp"
 
 namespace simdts::lb {
@@ -72,7 +81,7 @@ class Engine {
         stacks_(machine.size()),
         busy_flags_(machine.size()),
         idle_flags_(machine.size()),
-        dead_(machine.size(), std::uint8_t{0}),
+        dead_(machine.size()),
         alive_(machine.size()),
         lane_scratch_(machine.pool() != nullptr ? machine.pool()->size() : 1) {
     cfg_.validate();
@@ -89,7 +98,7 @@ class Engine {
     next_fault_ = 0;
     fault_clock_ = 0;
     drop_budget_ = 0;
-    std::fill(dead_.begin(), dead_.end(), std::uint8_t{0});
+    dead_.fill(false);
     alive_ = machine_.size();
     orphaned_total_ = 0;
     recovered_total_ = 0;
@@ -160,21 +169,20 @@ class Engine {
     // lanes are neither.  From here on the census is maintained
     // incrementally — by the expansion cycles, by each work transfer, and by
     // the fault events — and never recomputed by a full rescan.
-    std::fill(busy_flags_.begin(), busy_flags_.end(), std::uint8_t{0});
-    std::fill(idle_flags_.begin(), idle_flags_.end(), std::uint8_t{1});
+    busy_flags_.fill(false);
+    idle_flags_.fill(true);
     std::uint32_t root_pe = 0;
     if (fault_armed()) {
       if (alive_ == 0) {
         throw FaultError("no surviving PE to start an iteration on",
                          cfg_.name(), machine_.size(), fault_clock_);
       }
-      for (std::size_t i = 0; i < dead_.size(); ++i) {
-        if (dead_[i]) idle_flags_[i] = 0;
-      }
-      while (dead_[root_pe]) ++root_pe;
+      simd::for_each_set(dead_,
+                         [this](std::size_t i) { idle_flags_.reset(i); });
+      while (dead_.test(root_pe)) ++root_pe;
     }
     stacks_[root_pe].push(problem_.root());
-    idle_flags_[root_pe] = 0;
+    idle_flags_.reset(root_pe);
     counts_ = Counts{};
     counts_.nonempty = 1;
     counts_.empty = alive_ - 1;
@@ -310,13 +318,16 @@ class Engine {
   };
 
   /// Lane-private partial results of one expansion cycle; merged in lane
-  /// order at the barrier.  The node buffers keep their capacity across
-  /// cycles, so steady-state cycles allocate nothing.
+  /// order at the barrier.  Census changes are tracked as *deltas* against
+  /// the incrementally-maintained counts_ (an untouched lane contributes
+  /// nothing, so idle blocks cost no accounting).  The node buffers keep
+  /// their capacity across cycles, so steady-state cycles allocate nothing.
   struct LaneScratch {
-    Counts counts;
+    std::int64_t d_nonempty = 0;    ///< minus the lanes that ran dry
+    std::int64_t d_splittable = 0;  ///< splittable transitions, either way
     std::uint64_t goals = 0;
     std::vector<Node> goal_nodes;
-    std::vector<Node> children;
+    std::vector<Node> children;  ///< flat staging buffer, cleared per word
     search::NextBound next_bound;
   };
 
@@ -328,67 +339,98 @@ class Engine {
 
   /// One lock-step node-expansion cycle.  Every non-empty PE pops one node;
   /// goal nodes are recorded (and not expanded), everything else is expanded
-  /// with the bound.  Each lane classifies the stacks it owns into its
-  /// scratch census and the shared flag planes (disjoint per-index writes);
-  /// the post-cycle census lands in counts_.  Dead lanes are skipped — they
-  /// never expand and never re-enter the census; with no fault plan armed
-  /// the skip test is a single null-pointer check.
+  /// with the bound.  The loop walks the packed flag planes one 64-lane word
+  /// at a time: active lanes are the set bits of ~idle & ~dead (idle tracks
+  /// "empty and alive", so the complement under the valid-lane mask is
+  /// exactly the lanes holding work), extracted with std::countr_zero — a
+  /// fully idle or dead block costs one load and one test, and the dead-lane
+  /// check is a word-level AND (zero-cost when no plan is armed: the plane
+  /// is all-zero).  Children are staged in the lane's flat buffer and
+  /// appended to the owning stack in one batch; the buffer is cleared once
+  /// per word, never per node.  Host lanes partition the *word* range, so no
+  /// two lanes write the same flag word; census deltas, goals and pruned
+  /// bounds land in lane scratch and are reduced in lane order at the
+  /// barrier.
   void expand_cycle(search::Bound bound, IterationStats& stats) {
     for (auto& ls : lane_scratch_) {
-      ls.counts = Counts{};
+      ls.d_nonempty = 0;
+      ls.d_splittable = 0;
       ls.goals = 0;
       ls.goal_nodes.clear();
       ls.next_bound = search::NextBound{};
     }
-    const std::uint8_t* dead = fault_armed() ? dead_.data() : nullptr;
+    constexpr std::size_t kWordBits = simd::BitPlane::kWordBits;
+    std::uint64_t* const idle_words = idle_flags_.words().data();
+    std::uint64_t* const busy_words = busy_flags_.words().data();
+    const std::uint64_t* const dead_words = dead_.words().data();
+    const std::size_t nwords = idle_flags_.word_count();
+    const std::uint64_t last_mask = idle_flags_.word_mask(nwords - 1);
     simd::ThreadPool* pool = machine_.pool();
-    auto body = [&, bound, dead](unsigned lane, std::size_t begin,
-                                 std::size_t end) {
+    auto body = [&, bound](unsigned lane, std::size_t wbegin,
+                           std::size_t wend) {
       LaneScratch& ls = lane_scratch_[lane];
-      for (std::size_t i = begin; i < end; ++i) {
-        if (dead != nullptr && dead[i] != 0) continue;
-        auto& st = stacks_[i];
-        if (!st.empty()) {
+      for (std::size_t w = wbegin; w < wend; ++w) {
+        const std::uint64_t valid =
+            (w + 1 == nwords) ? last_mask : ~std::uint64_t{0};
+        std::uint64_t idle_w = idle_words[w];
+        std::uint64_t busy_w = busy_words[w];
+        const std::uint64_t active = ~idle_w & ~dead_words[w] & valid;
+        if (active == 0) continue;
+        ls.children.clear();
+        const std::size_t base = w * kWordBits;
+        std::uint64_t m = active;
+        while (m != 0) {
+          const auto b = static_cast<unsigned>(std::countr_zero(m));
+          m &= m - 1;
+          auto& st = stacks_[base + b];
           Node n = st.pop();
           if (problem_.is_goal(n)) {
             ++ls.goals;
             ls.goal_nodes.push_back(std::move(n));
           } else {
-            ls.children.clear();
+            const std::size_t staged = ls.children.size();
             problem_.expand(n, bound, ls.children, ls.next_bound);
-            for (auto& c : ls.children) st.push(std::move(c));
+            const std::size_t added = ls.children.size() - staged;
+            if (added != 0) st.append(ls.children.data() + staged, added);
+          }
+          const std::uint64_t bit = std::uint64_t{1} << b;
+          const bool was_split = (busy_w & bit) != 0;
+          if (st.empty()) {
+            idle_w |= bit;
+            busy_w &= ~bit;
+            --ls.d_nonempty;
+            if (was_split) --ls.d_splittable;
+          } else if (st.splittable() != was_split) {
+            ls.d_splittable += was_split ? -1 : 1;
+            busy_w ^= bit;
           }
         }
-        if (st.empty()) {
-          ++ls.counts.empty;
-          idle_flags_[i] = 1;
-          busy_flags_[i] = 0;
-        } else {
-          ++ls.counts.nonempty;
-          idle_flags_[i] = 0;
-          const bool split = st.splittable();
-          busy_flags_[i] = split ? 1 : 0;
-          if (split) ++ls.counts.splittable;
-        }
+        idle_words[w] = idle_w;
+        busy_words[w] = busy_w;
       }
     };
     if (pool != nullptr && pool->size() > 1) {
-      pool->parallel_for_lanes(stacks_.size(), body);
+      pool->parallel_for_lanes(nwords, body);
     } else {
-      body(0, 0, stacks_.size());
+      body(0, 0, nwords);
     }
     // Ordered reduction at the barrier: lane 0 first, then lane 1, ... —
     // bit-identical for any lane count.
-    Counts after;
+    std::int64_t d_nonempty = 0;
+    std::int64_t d_splittable = 0;
     for (auto& ls : lane_scratch_) {
-      after.nonempty += ls.counts.nonempty;
-      after.splittable += ls.counts.splittable;
-      after.empty += ls.counts.empty;
+      d_nonempty += ls.d_nonempty;
+      d_splittable += ls.d_splittable;
       stats.goals_found += ls.goals;
       next_bound_.merge(ls.next_bound);
       for (auto& g : ls.goal_nodes) goal_nodes_.push_back(std::move(g));
     }
-    counts_ = after;
+    counts_.nonempty = static_cast<std::uint32_t>(
+        static_cast<std::int64_t>(counts_.nonempty) + d_nonempty);
+    counts_.splittable = static_cast<std::uint32_t>(
+        static_cast<std::int64_t>(counts_.splittable) + d_splittable);
+    counts_.empty = static_cast<std::uint32_t>(
+        static_cast<std::int64_t>(counts_.empty) - d_nonempty);
   }
 
   /// Applies every fault event due at the current simulated cycle, in plan
@@ -421,11 +463,11 @@ class Engine {
   /// receiver's stack stays in depth-first order.  Each round-robin wave
   /// costs one recovery transfer round on the machine clock.
   void kill_pe(std::uint32_t pe, IterationStats& stats, Trigger& trigger) {
-    if (dead_[pe] != 0) return;
+    if (dead_.test(pe)) return;
     census_remove(pe);
-    dead_[pe] = 1;
-    busy_flags_[pe] = 0;
-    idle_flags_[pe] = 0;
+    dead_.set(pe);
+    busy_flags_.reset(pe);
+    idle_flags_.reset(pe);
     --alive_;
     ++stats.pes_killed;
 
@@ -456,14 +498,14 @@ class Engine {
     recovery_receivers_.clear();
     for (std::uint32_t off = 1; off <= p; ++off) {
       const std::uint32_t i = (pe + off) % p;
-      if (dead_[i] == 0 && idle_flags_[i] != 0) {
+      if (!dead_.test(i) && idle_flags_.test(i)) {
         recovery_receivers_.push_back(i);
       }
     }
     if (recovery_receivers_.empty()) {
       for (std::uint32_t off = 1; off <= p; ++off) {
         const std::uint32_t i = (pe + off) % p;
-        if (dead_[i] == 0) recovery_receivers_.push_back(i);
+        if (!dead_.test(i)) recovery_receivers_.push_back(i);
       }
     }
     const std::size_t receivers = recovery_receivers_.size();
@@ -490,11 +532,11 @@ class Engine {
 
   /// Revives PE `pe` as an idle receiver with an empty stack.
   void revive_pe(std::uint32_t pe, IterationStats& stats, Trigger& trigger) {
-    if (dead_[pe] == 0) return;
-    dead_[pe] = 0;
+    if (!dead_.test(pe)) return;
+    dead_.reset(pe);
     ++alive_;
-    busy_flags_[pe] = 0;
-    idle_flags_[pe] = 1;
+    busy_flags_.reset(pe);
+    idle_flags_.set(pe);
     ++counts_.empty;
     ++stats.pes_revived;
     trigger.set_machine_size(alive_);
@@ -511,7 +553,7 @@ class Engine {
                        cfg_.name(), machine_.size(), fault_clock_);
     }
     for (std::size_t i = 0; i < dead_.size(); ++i) {
-      if (dead_[i] != 0 && !stacks_[i].empty()) {
+      if (dead_.test(i) && !stacks_[i].empty()) {
         throw FaultError("conservation violated: a dead PE still holds work",
                          cfg_.name(), machine_.size(), fault_clock_);
       }
@@ -536,13 +578,13 @@ class Engine {
     const auto& s = stacks_[i];
     if (s.empty()) {
       ++counts_.empty;
-      idle_flags_[i] = 1;
-      busy_flags_[i] = 0;
+      idle_flags_.set(i);
+      busy_flags_.reset(i);
     } else {
       ++counts_.nonempty;
-      idle_flags_[i] = 0;
+      idle_flags_.reset(i);
       const bool split = s.splittable();
-      busy_flags_[i] = split ? 1 : 0;
+      busy_flags_.set(i, split);
       if (split) ++counts_.splittable;
     }
   }
@@ -628,9 +670,10 @@ class Engine {
   std::uint64_t transfer_give_one(IterationStats& stats) {
     const simd::PeIndex start_after =
         cfg_.match == MatchScheme::kGP ? matcher_.pointer() : simd::kNoPe;
-    const std::vector<simd::PeIndex> donors =
-        simd::ranked(busy_flags_, start_after);
-    const std::vector<simd::PeIndex> receivers = simd::ranked(idle_flags_);
+    simd::ranked_into(busy_flags_, start_after, donors_buf_);
+    simd::ranked_into(idle_flags_, simd::kNoPe, receivers_buf_);
+    const std::vector<simd::PeIndex>& donors = donors_buf_;
+    const std::vector<simd::PeIndex>& receivers = receivers_buf_;
     std::uint64_t transfers = 0;
     std::size_t r = 0;
     for (const simd::PeIndex d : donors) {
@@ -661,13 +704,15 @@ class Engine {
   SchemeConfig cfg_;
   Matcher matcher_;
   std::vector<search::WorkStack<Node>> stacks_;
-  std::vector<std::uint8_t> busy_flags_;  ///< splittable, maintained in place
-  std::vector<std::uint8_t> idle_flags_;  ///< empty *and alive*, in place
-  std::vector<std::uint8_t> dead_;        ///< killed lanes (degraded mode)
-  std::uint32_t alive_;                   ///< surviving lane count
-  Counts counts_;                         ///< incrementally maintained census
+  simd::BitPlane busy_flags_;   ///< splittable, maintained in place
+  simd::BitPlane idle_flags_;   ///< empty *and alive*, in place
+  fault::DeadLanePlane dead_;   ///< killed lanes (degraded mode)
+  std::uint32_t alive_;         ///< surviving lane count
+  Counts counts_;               ///< incrementally maintained census
   std::vector<LaneScratch> lane_scratch_;
   std::vector<simd::Pair> pairs_;  ///< reused across lb rounds
+  std::vector<simd::PeIndex> donors_buf_;     ///< reused per give-one round
+  std::vector<simd::PeIndex> receivers_buf_;  ///< reused per give-one round
   std::vector<Node> goal_nodes_;
   search::NextBound next_bound_;
 

@@ -40,6 +40,13 @@ class Matcher {
                   std::span<const std::uint8_t> idle_flags, std::size_t limit,
                   std::vector<simd::Pair>& out);
 
+  /// Packed-plane match: identical pair sequence and pointer advance as the
+  /// byte-plane overload on the same occupancy pattern, but the enumerations
+  /// are word-level popcount/countr_zero walks (the engine's hot path).
+  void match_into(const simd::BitPlane& busy_flags,
+                  const simd::BitPlane& idle_flags, std::size_t limit,
+                  std::vector<simd::Pair>& out);
+
   /// Position of the global pointer (kNoPe before the first GP phase, and
   /// always kNoPe for nGP).
   [[nodiscard]] simd::PeIndex pointer() const { return pointer_; }
@@ -65,6 +72,14 @@ class Matcher {
 /// As neighbor_pairs(), but fills a caller-owned buffer (cleared first).
 void neighbor_pairs_into(std::span<const std::uint8_t> busy_flags,
                          std::span<const std::uint8_t> idle_flags,
+                         std::vector<simd::Pair>& out);
+
+/// Packed-plane ring pairing: the pair plane is busy AND (idle rotated one
+/// lane toward lower indices), computed one word at a time — a funnel shift
+/// per word instead of a per-lane walk.  Pair order matches the byte-plane
+/// overload exactly.
+void neighbor_pairs_into(const simd::BitPlane& busy_flags,
+                         const simd::BitPlane& idle_flags,
                          std::vector<simd::Pair>& out);
 
 }  // namespace simdts::lb

@@ -19,8 +19,11 @@
 // move-only node types work.
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
+#include <cstring>
 #include <memory>
+#include <type_traits>
 #include <utility>
 #include <vector>
 
@@ -77,6 +80,28 @@ class WorkStack {
     if (size_ == cap_) grow();
     ::new (static_cast<void*>(slot_ptr(size_))) Node(std::move(n));
     ++size_;
+  }
+
+  /// Pushes `n` nodes from `src` in order — src[n-1] ends on top, exactly as
+  /// n successive push() calls — with one capacity check for the whole
+  /// batch: the staged form of push() used by the expansion cycle, which
+  /// appends every child of a popped node at once.  The source nodes are
+  /// moved from.
+  void append(Node* src, std::size_t n) {
+    if (size_ + n > cap_) reserve_pow2(size_ + n);
+    // At most two contiguous runs in the ring: up to the physical end of the
+    // buffer, then wrapped to the front.  The batch almost always fits in
+    // the first run (a wrap needs head_ + size_ within n of the physical
+    // end), and trivially-copyable nodes make that run one memcpy.
+    const std::size_t pos = (head_ + size_) & (cap_ - 1);
+    if (n <= cap_ - pos) [[likely]] {
+      copy_run(slots_ + pos, src, n);
+    } else {
+      const std::size_t run = cap_ - pos;
+      copy_run(slots_ + pos, src, run);
+      copy_run(slots_, src + run, n - run);
+    }
+    size_ += n;
   }
 
   /// Pops the deepest node (LIFO — depth-first order).
@@ -138,6 +163,39 @@ class WorkStack {
   }
 
  private:
+  /// One contiguous run of an append().  The hot caller is the expansion
+  /// cycle appending one popped node's children — n is almost always <= 4 —
+  /// and a library memcpy call costs more than such a copy itself (and the
+  /// compiler rewrites any plain copy loop into one), so tiny batches are
+  /// unrolled straight-line; only bulk appends (recovery re-donations, big
+  /// transfers) take the memcpy path.
+  static void copy_run(Node* dst, Node* src, std::size_t n) {
+    if constexpr (std::is_trivially_copyable_v<Node>) {
+      switch (n) {
+        case 4:
+          ::new (static_cast<void*>(dst + 3)) Node(src[3]);
+          [[fallthrough]];
+        case 3:
+          ::new (static_cast<void*>(dst + 2)) Node(src[2]);
+          [[fallthrough]];
+        case 2:
+          ::new (static_cast<void*>(dst + 1)) Node(src[1]);
+          [[fallthrough]];
+        case 1:
+          ::new (static_cast<void*>(dst)) Node(src[0]);
+          [[fallthrough]];
+        case 0:
+          return;
+        default:
+          std::memcpy(static_cast<void*>(dst), src, n * sizeof(Node));
+      }
+    } else {
+      for (std::size_t i = 0; i < n; ++i) {
+        ::new (static_cast<void*>(dst + i)) Node(std::move(src[i]));
+      }
+    }
+  }
+
   [[nodiscard]] Node* slot_ptr(std::size_t i) const noexcept {
     return slots_ + ((head_ + i) & (cap_ - 1));
   }

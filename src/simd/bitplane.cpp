@@ -1,0 +1,20 @@
+#include "simd/bitplane.hpp"
+
+namespace simdts::simd {
+
+std::size_t nth_set(const BitPlane& plane, std::uint32_t k) {
+  const std::span<const std::uint64_t> ws = plane.words();
+  for (std::size_t w = 0; w < ws.size(); ++w) {
+    std::uint64_t m = ws[w];
+    const auto c = static_cast<std::uint32_t>(std::popcount(m));
+    if (k < c) {
+      for (; k > 0; --k) m &= m - 1;
+      return w * BitPlane::kWordBits +
+             static_cast<std::size_t>(std::countr_zero(m));
+    }
+    k -= c;
+  }
+  return plane.size();
+}
+
+}  // namespace simdts::simd

@@ -1,6 +1,71 @@
 #include "simd/rendezvous.hpp"
 
+#include <bit>
+
 namespace simdts::simd {
+
+namespace {
+
+/// Cursor over the set lanes of a packed plane in rotated enumeration order:
+/// lanes [first, P) then [0, first).  next() returns P when exhausted.  Clear
+/// words are skipped with one load + test each; set lanes are extracted with
+/// std::countr_zero — the word-level form of the rotated sum-scan walk.
+class RotatedSetCursor {
+ public:
+  RotatedSetCursor(const BitPlane& plane, std::size_t first)
+      : ws_(plane.words()), p_(plane.size()), first_(first) {
+    w_ = first_ / BitPlane::kWordBits;
+    if (w_ < ws_.size()) {
+      cur_ = ws_[w_] & (~std::uint64_t{0} << (first_ % BitPlane::kWordBits));
+    }
+  }
+
+  std::size_t next() {
+    for (;;) {
+      if (cur_ != 0) {
+        const auto b = static_cast<std::size_t>(std::countr_zero(cur_));
+        cur_ &= cur_ - 1;
+        return w_ * BitPlane::kWordBits + b;
+      }
+      if (in_wrap_) {
+        ++w_;
+        if (w_ * BitPlane::kWordBits >= first_) return p_;
+        cur_ = wrap_word(w_);
+        continue;
+      }
+      ++w_;
+      if (w_ < ws_.size()) {
+        cur_ = ws_[w_];
+        continue;
+      }
+      // Switch to the wrapped segment: lanes [0, first).
+      in_wrap_ = true;
+      if (first_ == 0) return p_;
+      w_ = 0;
+      cur_ = wrap_word(0);
+    }
+  }
+
+ private:
+  /// Word `w` restricted to lanes strictly below the rotation start.
+  [[nodiscard]] std::uint64_t wrap_word(std::size_t w) const {
+    std::uint64_t m = ws_[w];
+    const std::size_t base = w * BitPlane::kWordBits;
+    if (base + BitPlane::kWordBits > first_) {
+      m &= (std::uint64_t{1} << (first_ - base)) - 1;
+    }
+    return m;
+  }
+
+  std::span<const std::uint64_t> ws_;
+  std::size_t p_ = 0;
+  std::size_t first_ = 0;
+  std::size_t w_ = 0;
+  std::uint64_t cur_ = 0;
+  bool in_wrap_ = false;
+};
+
+}  // namespace
 
 std::vector<PeIndex> ranked(std::span<const std::uint8_t> flags,
                             PeIndex start_after) {
@@ -63,6 +128,47 @@ std::vector<Pair> rendezvous(std::span<const std::uint8_t> donor_flags,
   std::vector<Pair> pairs;
   rendezvous_into(donor_flags, receiver_flags, start_after, limit, pairs);
   return pairs;
+}
+
+void rendezvous_into(const BitPlane& donor_flags,
+                     const BitPlane& receiver_flags, PeIndex start_after,
+                     std::size_t limit, std::vector<Pair>& out) {
+  out.clear();
+  const std::size_t pd = donor_flags.size();
+  const std::size_t pr = receiver_flags.size();
+  if (pd == 0 || pr == 0 || limit == 0) return;
+  const std::size_t first =
+      (start_after == kNoPe) ? 0
+                             : (static_cast<std::size_t>(start_after) + 1) % pd;
+  RotatedSetCursor donors(donor_flags, first);
+  RotatedSetCursor receivers(receiver_flags, 0);
+  while (out.size() < limit) {
+    const std::size_t d = donors.next();
+    if (d == pd) return;
+    const std::size_t r = receivers.next();
+    if (r == pr) return;
+    out.push_back(Pair{static_cast<PeIndex>(d), static_cast<PeIndex>(r)});
+  }
+}
+
+void ranked_into(const BitPlane& flags, PeIndex start_after,
+                 std::vector<PeIndex>& out) {
+  out.clear();
+  const std::size_t p = flags.size();
+  if (p == 0) return;
+  const std::size_t first =
+      (start_after == kNoPe) ? 0
+                             : (static_cast<std::size_t>(start_after) + 1) % p;
+  RotatedSetCursor cursor(flags, first);
+  for (std::size_t i = cursor.next(); i != p; i = cursor.next()) {
+    out.push_back(static_cast<PeIndex>(i));
+  }
+}
+
+std::vector<PeIndex> ranked(const BitPlane& flags, PeIndex start_after) {
+  std::vector<PeIndex> out;
+  ranked_into(flags, start_after, out);
+  return out;
 }
 
 }  // namespace simdts::simd

@@ -12,6 +12,8 @@
 #include <span>
 #include <vector>
 
+#include "simd/bitplane.hpp"
+
 namespace simdts::simd {
 
 /// Index of a processing element in the machine.
@@ -52,6 +54,28 @@ void rendezvous_into(std::span<const std::uint8_t> donor_flags,
 /// `start_after` and wrapping around.  rendezvous() is rank-aligned zipping
 /// of two such enumerations.
 [[nodiscard]] std::vector<PeIndex> ranked(std::span<const std::uint8_t> flags,
+                                          PeIndex start_after = kNoPe);
+
+// --- Packed bit-plane kernels -----------------------------------------------
+//
+// Word-level versions of the walks above: the rotated enumeration visits one
+// std::uint64_t word per 64 lanes (clear words cost a single load + test) and
+// extracts set lanes with std::countr_zero.  Pair sequences are exactly those
+// of the byte-plane kernels on the same occupancy pattern — pinned by
+// tests/test_bitplane.cpp — so the engine can switch planes without moving a
+// single simulated result.
+
+/// As rendezvous_into() over byte planes, but over packed planes.
+void rendezvous_into(const BitPlane& donor_flags,
+                     const BitPlane& receiver_flags, PeIndex start_after,
+                     std::size_t limit, std::vector<Pair>& out);
+
+/// As ranked() over byte planes, but over a packed plane and into a
+/// caller-owned buffer (cleared first) so hot loops reuse its capacity.
+void ranked_into(const BitPlane& flags, PeIndex start_after,
+                 std::vector<PeIndex>& out);
+
+[[nodiscard]] std::vector<PeIndex> ranked(const BitPlane& flags,
                                           PeIndex start_after = kNoPe);
 
 }  // namespace simdts::simd

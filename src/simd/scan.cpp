@@ -21,4 +21,21 @@ std::uint32_t count_set(std::span<const std::uint8_t> flags) {
   return n;
 }
 
+std::uint32_t enumerate(const BitPlane& plane, std::span<std::uint32_t> ranks) {
+  const std::span<const std::uint64_t> ws = plane.words();
+  std::uint32_t before = 0;  // exclusive prefix popcount over whole words
+  for (std::size_t w = 0; w < ws.size(); ++w) {
+    std::uint64_t m = ws[w];
+    const auto word_count = static_cast<std::uint32_t>(std::popcount(m));
+    std::uint32_t rank = before;
+    while (m != 0) {
+      const auto b = static_cast<unsigned>(std::countr_zero(m));
+      ranks[w * BitPlane::kWordBits + b] = rank++;
+      m &= m - 1;
+    }
+    before += word_count;
+  }
+  return before;
+}
+
 }  // namespace simdts::simd

@@ -14,6 +14,7 @@
 #include <span>
 #include <vector>
 
+#include "simd/bitplane.hpp"
 #include "simd/thread_pool.hpp"
 
 namespace simdts::simd {
@@ -86,6 +87,18 @@ std::uint32_t enumerate(std::span<const std::uint8_t> flags,
 
 /// Count of set flags (global-or / population count over the PE array).
 std::uint32_t count_set(std::span<const std::uint8_t> flags);
+
+/// Packed-plane enumerate: identical contract to the byte-plane overload,
+/// but the ranks are sum-scans of word-level popcount partial sums — each
+/// 64-lane word contributes one popcount to the running prefix, and only set
+/// lanes are visited (std::countr_zero iteration).  O(P/64 + #set) instead
+/// of O(P).
+std::uint32_t enumerate(const BitPlane& plane, std::span<std::uint32_t> ranks);
+
+/// Packed-plane census (word-level popcount reduction).
+[[nodiscard]] inline std::uint32_t count_set(const BitPlane& plane) {
+  return plane.count();
+}
 
 /// Inclusive running maximum (the CM-2 max-scan).  `out` may alias `in`.
 template <typename T>

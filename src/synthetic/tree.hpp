@@ -55,18 +55,29 @@ class Tree {
 
   /// Exhaustive search: the bound is ignored and `next` never set (a single
   /// "iteration" visits the whole tree).
+  ///
+  /// Child emission is branchless: every slot's candidate node is written to
+  /// the staging area unconditionally and the write cursor advances by the
+  /// existence predicate.  The per-slot coin flips are ~fertility-biased and
+  /// uncorrelated, so a conditional push would mispredict on a large
+  /// fraction of slots — in the engine's hot loop that misprediction chain
+  /// costs more than computing the occasional discarded node.
   void expand(const Node& n, search::Bound /*bound*/, std::vector<Node>& out,
               search::NextBound& /*next*/) const {
     if (n.depth >= params_.max_depth) return;
     const double p =
         params_.fertility * (0.5 + static_cast<double>(n.climate) * 0x1.0p-16);
     const auto depth = static_cast<std::uint16_t>(n.depth + 1);
+    const std::size_t base = out.size();
+    out.resize(base + params_.max_children);
+    Node* const dst = out.data() + base;
+    std::size_t k = 0;
     for (std::uint32_t i = 0; i < params_.max_children; ++i) {
       const std::uint64_t h = hash2(n.id, 0x4348494C44ULL + i);
-      if (normalized(h) < p) {
-        out.push_back(Node{h, depth, drift_climate(n.climate, h)});
-      }
+      dst[k] = Node{h, depth, drift_climate(n.climate, h)};
+      k += static_cast<std::size_t>(normalized(h) < p);
     }
+    out.resize(base + k);
   }
 
   [[nodiscard]] bool is_goal(const Node&) const { return false; }
