@@ -44,6 +44,7 @@
 #include "lb/engine.hpp"
 #include "lb/matching.hpp"
 #include "runtime/sweep.hpp"
+#include "sanitizer/sanitizer.hpp"
 #include "search/work_stack.hpp"
 #include "simd/bitplane.hpp"
 #include "simd/scan.hpp"
@@ -370,6 +371,90 @@ int main() {
             << analysis::format_double(fault_overhead_pct, 1)
             << "%, results bit-identical\n\n";
 
+  // --- SimdSan: zero-cost-when-off gate + armed-vs-disarmed overhead. -----
+  // The sanitizer's cost contract has two halves, both gated here.  OFF
+  // (the default build): there is nothing to measure, and there must be
+  // nothing to measure — the harness hard-fails if the instrumentation is
+  // compiled into the binary it is timing (lint.sanitizer_zero_cost proves
+  // the symbols are gone from libsimdts.a; this gate proves the *measured
+  // binary* was not silently built against a sanitized library, so every
+  // number above was produced by sanitizer-free code).  ON (opt-in via
+  // SIMDTS_EXPECT_SANITIZER=1, as the CI sanitize job runs it): the checks
+  // must be transparent — disarmed and armed runs are timed interleaved
+  // exactly like the fault hooks, the simulated results must be
+  // bit-identical (hard failure), and the armed overhead is reported.
+  const char* expect_env = std::getenv("SIMDTS_EXPECT_SANITIZER");
+  const bool expect_sanitizer =
+      expect_env != nullptr && expect_env[0] != '\0' && expect_env[0] != '0';
+  if (san::kCompiledIn != expect_sanitizer) {
+    std::cout << "\nFATAL: sanitizer compiled_in="
+              << (san::kCompiledIn ? "true" : "false") << " but this run "
+              << (expect_sanitizer
+                      ? "expected a SIMDTS_SANITIZE=ON build "
+                        "(SIMDTS_EXPECT_SANITIZER is set)."
+                      : "expected the default build — the sanitizer leaked "
+                        "in and its overhead would contaminate every number "
+                        "in this report.")
+              << "\n";
+    return 1;
+  }
+  double san_disarmed_wall = 0.0;
+  double san_armed_wall = 0.0;
+  double san_overhead_pct = 0.0;
+#ifdef SIMDTS_SANITIZE
+  {
+    std::vector<double> disarmed_walls;
+    std::vector<double> armed_walls2;
+    bool san_identical = true;
+    const synthetic::Tree tree(big.params);
+    lb::IterationStats disarmed_ref;
+    for (unsigned rep = 0; rep < reps; ++rep) {
+      san::set_armed(false);
+      simd::Machine machine(sizes.back(), cost);
+      lb::Engine<synthetic::Tree> engine(tree, machine, cfg);
+      auto start = Clock::now();
+      const lb::IterationStats disarmed =
+          engine.run_iteration(search::kUnbounded);
+      disarmed_walls.push_back(seconds_since(start));
+      if (rep == 0) {
+        disarmed_ref = disarmed;
+      } else if (!(disarmed == disarmed_ref)) {
+        san_identical = false;
+      }
+
+      san::set_armed(true);
+      simd::Machine armed_machine(sizes.back(), cost);
+      lb::Engine<synthetic::Tree> armed_engine(tree, armed_machine, cfg);
+      start = Clock::now();
+      const lb::IterationStats armed =
+          armed_engine.run_iteration(search::kUnbounded);
+      armed_walls2.push_back(seconds_since(start));
+      if (!(armed == disarmed_ref)) san_identical = false;
+    }
+    san::set_armed(true);
+    if (!san_identical) {
+      std::cout << "\nFATAL: arming the sanitizer changed the simulated "
+                   "results — the shadow checks are not transparent.\n";
+      return 1;
+    }
+    san_disarmed_wall = median(std::move(disarmed_walls));
+    san_armed_wall = median(std::move(armed_walls2));
+    san_overhead_pct =
+        san_disarmed_wall > 0.0
+            ? 100.0 * (san_armed_wall - san_disarmed_wall) / san_disarmed_wall
+            : 0.0;
+    std::cout << "sanitizer (SIMDTS_SANITIZE=ON build): armed "
+              << analysis::format_double(san_armed_wall, 3) << " s vs "
+              << analysis::format_double(san_disarmed_wall, 3)
+              << " s disarmed (interleaved), overhead "
+              << analysis::format_double(san_overhead_pct, 1)
+              << "%, results bit-identical\n\n";
+  }
+#else
+  std::cout << "sanitizer: not compiled in (default build) — zero cost by "
+               "construction, held by lint.sanitizer_zero_cost\n\n";
+#endif
+
   // --- Substrate kernels: byte plane vs packed bit plane. -----------------
   const std::size_t kernel_lanes = 1 << 14;
   std::uint64_t sink = 0;
@@ -420,6 +505,15 @@ int main() {
        << format_json_double(armed_wall) << ", \"overhead_pct\": "
        << format_json_double(fault_overhead_pct)
        << ", \"results_identical\": true},\n"
+       << "  \"sanitizer\": {\"compiled_in\": "
+       << (san::kCompiledIn ? "true" : "false");
+  if (san::kCompiledIn) {
+    json << ", \"disarmed_wall_s\": " << format_json_double(san_disarmed_wall)
+         << ", \"armed_wall_s\": " << format_json_double(san_armed_wall)
+         << ", \"overhead_pct\": " << format_json_double(san_overhead_pct)
+         << ", \"results_identical\": true";
+  }
+  json << "},\n"
        << "  \"kernels\": {\n";
   for (std::size_t i = 0; i < kernels.size(); ++i) {
     const KernelSample& k = kernels[i];

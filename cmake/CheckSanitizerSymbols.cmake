@@ -1,0 +1,42 @@
+# Test-time script behind the lint.sanitizer_zero_cost ctest (registered in
+# the top-level CMakeLists): proves SimdSan is what it claims to be at the
+# symbol level.  With SIMDTS_SANITIZE=OFF, no simdts::san symbol may be
+# defined anywhere in libsimdts.a — the instrumentation must vanish, not just
+# idle; with ON, the symbols must be present (the hooks really were compiled
+# in).  The check greps nm output for the mangled namespace prefix
+# `6simdts3san` (the itanium encoding of simdts::san), which no other
+# namespace in the project can produce.
+#
+# Usage: cmake -DNM=<nm> -DLIB=<libsimdts.a> -DEXPECT_PRESENT=<ON|OFF>
+#              -P CheckSanitizerSymbols.cmake
+if(NOT NM OR NOT LIB)
+  message(FATAL_ERROR "CheckSanitizerSymbols: NM and LIB must be defined")
+endif()
+
+execute_process(
+  COMMAND "${NM}" --defined-only "${LIB}"
+  OUTPUT_VARIABLE symbols
+  ERROR_VARIABLE nm_err
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "nm failed on ${LIB}: ${nm_err}")
+endif()
+
+string(FIND "${symbols}" "6simdts3san" pos)
+
+if(EXPECT_PRESENT)
+  if(pos EQUAL -1)
+    message(FATAL_ERROR
+      "SIMDTS_SANITIZE=ON but no simdts::san symbol is defined in ${LIB} — "
+      "the sanitizer was not compiled in")
+  endif()
+  message(STATUS "sanitizer symbols present in ${LIB}, as expected (ON)")
+else()
+  if(NOT pos EQUAL -1)
+    message(FATAL_ERROR
+      "SIMDTS_SANITIZE=OFF but simdts::san symbols are defined in ${LIB} — "
+      "the sanitizer leaked into the default build and is no longer "
+      "provably zero-cost")
+  endif()
+  message(STATUS "no sanitizer symbols in ${LIB}, as expected (OFF)")
+endif()

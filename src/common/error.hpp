@@ -102,4 +102,25 @@ class TransientError : public Error {
   using Error::Error;
 };
 
+/// A shadow-instrumentation check failed (SimdSan, compiled in only under
+/// SIMDTS_SANITIZE).  Unlike EngineError — which reports invariants the
+/// engine itself can observe — this reports violations of the *disciplines*
+/// that make the simulation deterministic: word-granularity thread ownership,
+/// dead-lane stack hygiene, single-donor matching, tail-bits-zero planes,
+/// census/flag-plane agreement, fault-plan ordering.  `invariant()` names the
+/// broken discipline so mutation tests can assert the sanitizer fired for the
+/// *right* reason, not merely that it fired.
+class SanitizerError : public Error {
+ public:
+  SanitizerError(const std::string& invariant, const std::string& what)
+      : Error("[sanitizer:" + invariant + "] " + what), invariant_(invariant) {}
+
+  [[nodiscard]] const std::string& invariant() const noexcept {
+    return invariant_;
+  }
+
+ private:
+  std::string invariant_;
+};
+
 }  // namespace simdts

@@ -5,6 +5,7 @@
 #include <unordered_set>
 
 #include "common/error.hpp"
+#include "sanitizer/sanitizer.hpp"
 
 namespace simdts::fault {
 
@@ -22,10 +23,27 @@ const char* to_string(FaultKind k) {
 
 FaultPlan::FaultPlan(std::vector<FaultEvent> events)
     : events_(std::move(events)) {
-  std::stable_sort(events_.begin(), events_.end(),
-                   [](const FaultEvent& a, const FaultEvent& b) {
-                     return a.cycle < b.cycle;
-                   });
+#ifdef SIMDTS_SANITIZE
+  // Mutation: leave the plan in submission order so the SimdSan plan-order
+  // verification below can be proven to fire on an out-of-order plan.
+  const bool sort_plan = !san::mutation().skip_plan_sort;
+#else
+  const bool sort_plan = true;
+#endif
+  if (sort_plan) {
+    std::stable_sort(events_.begin(), events_.end(),
+                     [](const FaultEvent& a, const FaultEvent& b) {
+                       return a.cycle < b.cycle;
+                     });
+  }
+#ifdef SIMDTS_SANITIZE
+  // The engine's due-event cursor walks the plan front to back and assumes
+  // cycles never decrease; verify that here, where every plan is born.
+  std::vector<std::uint64_t> cycles;
+  cycles.reserve(events_.size());
+  for (const FaultEvent& e : events_) cycles.push_back(e.cycle);
+  san::verify_plan_cycles(cycles.data(), cycles.size());
+#endif
 }
 
 std::uint64_t splitmix64(std::uint64_t& state) {

@@ -55,6 +55,7 @@
 #include "common/error.hpp"
 #include "fault/fault.hpp"
 #include "lb/config.hpp"
+#include "sanitizer/sanitizer.hpp"
 #include "lb/matching.hpp"
 #include "lb/metrics.hpp"
 #include "lb/trigger.hpp"
@@ -85,6 +86,9 @@ class Engine {
         alive_(machine.size()),
         lane_scratch_(machine.pool() != nullptr ? machine.pool()->size() : 1) {
     cfg_.validate();
+#ifdef SIMDTS_SANITIZE
+    san_dead_.resize(machine.size());
+#endif
   }
 
   /// Arms a fault plan: the plan's events fire on this engine's cumulative
@@ -103,6 +107,9 @@ class Engine {
     orphaned_total_ = 0;
     recovered_total_ = 0;
     recovery_journal_.clear();
+#ifdef SIMDTS_SANITIZE
+    san_dead_.clear();
+#endif
   }
 
   /// Watchdog: a nonzero budget bounds the expand cycles of each bounded DFS
@@ -369,12 +376,25 @@ class Engine {
     auto body = [&, bound](unsigned lane, std::size_t wbegin,
                            std::size_t wend) {
       LaneScratch& ls = lane_scratch_[lane];
+#ifdef SIMDTS_SANITIZE
+      // Register this worker's word-ownership claim for the dispatch; every
+      // flag-word write below is checked against it.  The shrink mutation
+      // under-claims by one word so the mutation test can prove an
+      // out-of-claim write is caught.
+      const std::size_t claim_end =
+          san::mutation().shrink_word_claim && wend > wbegin ? wend - 1 : wend;
+      san::WordClaim claim(san_claims_, lane, wbegin, claim_end);
+#endif
       for (std::size_t w = wbegin; w < wend; ++w) {
         const std::uint64_t valid =
             (w + 1 == nwords) ? last_mask : ~std::uint64_t{0};
         std::uint64_t idle_w = idle_words[w];
         std::uint64_t busy_w = busy_words[w];
-        const std::uint64_t active = ~idle_w & ~dead_words[w] & valid;
+        std::uint64_t not_dead = ~dead_words[w];
+#ifdef SIMDTS_SANITIZE
+        if (san::mutation().expand_dead_lane) not_dead = ~std::uint64_t{0};
+#endif
+        const std::uint64_t active = ~idle_w & not_dead & valid;
         if (active == 0) continue;
         ls.children.clear();
         const std::size_t base = w * kWordBits;
@@ -382,6 +402,9 @@ class Engine {
         while (m != 0) {
           const auto b = static_cast<unsigned>(std::countr_zero(m));
           m &= m - 1;
+#ifdef SIMDTS_SANITIZE
+          san_dead_.check_alive(base + b, "expand");
+#endif
           auto& st = stacks_[base + b];
           Node n = st.pop();
           if (problem_.is_goal(n)) {
@@ -405,6 +428,9 @@ class Engine {
             busy_w ^= bit;
           }
         }
+#ifdef SIMDTS_SANITIZE
+        san::check_word_write(san_claims_, w);
+#endif
         idle_words[w] = idle_w;
         busy_words[w] = busy_w;
       }
@@ -414,6 +440,18 @@ class Engine {
     } else {
       body(0, 0, nwords);
     }
+#ifdef SIMDTS_SANITIZE
+    if (san::mutation().corrupt_tail && last_mask != ~std::uint64_t{0}) {
+      // Mutation: set the first invalid bit past size() in the idle plane so
+      // the per-cycle tail sweep below can prove it fires.
+      idle_words[nwords - 1] |= ~last_mask & (last_mask + 1);
+    }
+    if (san::mutation().drop_census_delta && !lane_scratch_.empty()) {
+      // Mutation: lose lane 0's splittable delta, desynchronizing the
+      // incremental census from the stacks.
+      lane_scratch_[0].d_splittable = 0;
+    }
+#endif
     // Ordered reduction at the barrier: lane 0 first, then lane 1, ... —
     // bit-identical for any lane count.
     std::int64_t d_nonempty = 0;
@@ -431,7 +469,54 @@ class Engine {
         static_cast<std::int64_t>(counts_.splittable) + d_splittable);
     counts_.empty = static_cast<std::uint32_t>(
         static_cast<std::int64_t>(counts_.empty) - d_nonempty);
+#ifdef SIMDTS_SANITIZE
+    san_verify_cycle();
+#endif
   }
+
+#ifdef SIMDTS_SANITIZE
+  /// SimdSan per-cycle sweep: the packed planes keep their zero tails, and
+  /// the incrementally maintained census agrees with both a reference
+  /// recount of the stacks and the flag-plane popcounts.  This is the
+  /// packed-vs-reference divergence check — the incremental path is what the
+  /// engine reports, the recount is what a from-scratch implementation would
+  /// compute.
+  void san_verify_cycle() const {
+    if (!san::armed()) return;
+    busy_flags_.san_verify_tail("busy plane");
+    idle_flags_.san_verify_tail("idle plane");
+    dead_.san_verify_tail("dead plane");
+    std::uint64_t ref_nonempty = 0;
+    std::uint64_t ref_splittable = 0;
+    for (std::size_t i = 0; i < stacks_.size(); ++i) {
+      if (dead_.test(i)) continue;
+      if (!stacks_[i].empty()) {
+        ++ref_nonempty;
+        if (stacks_[i].splittable()) ++ref_splittable;
+      }
+    }
+    const std::uint64_t ref_empty = alive_ - ref_nonempty;
+    san::check_census(counts_.nonempty, ref_nonempty, "census.nonempty");
+    san::check_census(counts_.splittable, ref_splittable,
+                      "census.splittable");
+    san::check_census(counts_.empty, ref_empty, "census.empty");
+    san::check_census(busy_flags_.count(), ref_splittable,
+                      "busy-plane popcount");
+    san::check_census(idle_flags_.count(), ref_empty, "idle-plane popcount");
+  }
+
+  /// Mutation hook: redirect the first matched pair's donor to a dead lane
+  /// so the donation-side dead-lane check can be proven to fire.
+  void san_apply_pair_mutation() {
+    if (!san::mutation().donate_from_dead || pairs_.empty()) return;
+    for (std::size_t i = 0; i < dead_.size(); ++i) {
+      if (dead_.test(i)) {
+        pairs_[0].donor = static_cast<simd::PeIndex>(i);
+        return;
+      }
+    }
+  }
+#endif
 
   /// Applies every fault event due at the current simulated cycle, in plan
   /// order.  Runs in the engine's serial section (between lock-step cycles),
@@ -466,6 +551,9 @@ class Engine {
     if (dead_.test(pe)) return;
     census_remove(pe);
     dead_.set(pe);
+#ifdef SIMDTS_SANITIZE
+    san_dead_.mark_dead(pe);
+#endif
     busy_flags_.reset(pe);
     idle_flags_.reset(pe);
     --alive_;
@@ -534,6 +622,9 @@ class Engine {
   void revive_pe(std::uint32_t pe, IterationStats& stats, Trigger& trigger) {
     if (!dead_.test(pe)) return;
     dead_.reset(pe);
+#ifdef SIMDTS_SANITIZE
+    san_dead_.mark_alive(pe);
+#endif
     ++alive_;
     busy_flags_.reset(pe);
     idle_flags_.set(pe);
@@ -604,6 +695,9 @@ class Engine {
       if (cfg_.match == MatchScheme::kNeighbor) {
         neighbor_pairs_into(busy_flags_, idle_flags_, pairs_);
         if (pairs_.empty()) break;
+#ifdef SIMDTS_SANITIZE
+        san_apply_pair_mutation();
+#endif
         transfers = transfer_split(pairs_, stats);
         machine_.charge_neighbor_round();
       } else if (cfg_.transfer == TransferPolicy::kGiveOneNodeEach) {
@@ -617,6 +711,9 @@ class Engine {
                                       : cfg_.max_pairs_per_round;
         matcher_.match_into(busy_flags_, idle_flags_, limit, pairs_);
         if (pairs_.empty()) break;
+#ifdef SIMDTS_SANITIZE
+        san_apply_pair_mutation();
+#endif
         transfers = transfer_split(pairs_, stats);
         machine_.charge_lb_round();
       }
@@ -641,6 +738,10 @@ class Engine {
                                IterationStats& stats) {
     std::uint64_t done = 0;
     for (const auto& [donor, receiver] : pairs) {
+#ifdef SIMDTS_SANITIZE
+      san_dead_.check_alive(donor, "donate");
+      san_dead_.check_alive(receiver, "receive");
+#endif
       if (drop_budget_ > 0) {
         --drop_budget_;
         ++stats.messages_dropped;
@@ -678,6 +779,9 @@ class Engine {
     std::size_t r = 0;
     for (const simd::PeIndex d : donors) {
       if (r == receivers.size()) break;
+#ifdef SIMDTS_SANITIZE
+      san_dead_.check_alive(d, "donate");
+#endif
       auto& st = stacks_[d];
       if (st.size() < 2) continue;
       census_remove(d);
@@ -727,6 +831,11 @@ class Engine {
   std::vector<fault::RecoveryRecord> recovery_journal_;
   std::vector<Node> orphan_buf_;                    ///< reused per kill
   std::vector<std::uint32_t> recovery_receivers_;   ///< reused per kill
+
+#ifdef SIMDTS_SANITIZE
+  san::DeadLaneShadow san_dead_;  ///< SimdSan's copy of the dead plane
+  san::ClaimDomain san_claims_;   ///< this engine's word-ownership claims
+#endif
 };
 
 }  // namespace simdts::lb

@@ -2,7 +2,29 @@
 
 #include <bit>
 
+#include "sanitizer/sanitizer.hpp"
+
 namespace simdts::lb {
+
+#ifdef SIMDTS_SANITIZE
+namespace {
+
+// SimdSan: a rendezvous round must match each donor at most once — a donor
+// matched twice would ship the same bottom-of-stack subtree to two
+// receivers.  The duplicate mutation corrupts the round so the mutation test
+// can prove the check fires.
+void san_check_round(std::vector<simd::Pair>& out) {
+  if (san::mutation().duplicate_match_pair && out.size() >= 2) {
+    out[1].donor = out[0].donor;
+  }
+  std::vector<std::uint32_t> donors;
+  donors.reserve(out.size());
+  for (const simd::Pair& pr : out) donors.push_back(pr.donor);
+  san::verify_unique_donors(donors.data(), donors.size());
+}
+
+}  // namespace
+#endif
 
 void Matcher::match_into(std::span<const std::uint8_t> busy_flags,
                          std::span<const std::uint8_t> idle_flags,
@@ -21,6 +43,9 @@ void Matcher::match_into(const simd::BitPlane& busy_flags,
   const simd::PeIndex start_after =
       scheme_ == MatchScheme::kGP ? pointer_ : simd::kNoPe;
   simd::rendezvous_into(busy_flags, idle_flags, start_after, limit, out);
+#ifdef SIMDTS_SANITIZE
+  san_check_round(out);
+#endif
   if (scheme_ == MatchScheme::kGP && !out.empty()) {
     pointer_ = out.back().donor;
   }

@@ -1,0 +1,232 @@
+// SimdSan shadow-state implementation.  The whole translation unit is gated
+// on SIMDTS_SANITIZE so a default build contributes zero symbols to
+// libsimdts.a — the lint.sanitizer_zero_cost ctest runs `nm` to hold us to
+// that.
+#ifdef SIMDTS_SANITIZE
+
+#include "sanitizer/sanitizer.hpp"
+
+#include <atomic>
+#include <mutex>
+#include <sstream>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace simdts::san {
+
+namespace {
+
+std::atomic<bool> g_armed{true};
+
+MutationHooks g_mutation{};
+
+[[noreturn]] void fail(const char* invariant, const std::string& what) {
+  throw SanitizerError(invariant, what);
+}
+
+// Live word claims.  Claims are rare (one per worker per dispatch) and the
+// per-write check only consults the calling thread's own claim through a
+// thread_local, so the per-domain mutex is off the hot path.
+struct ClaimRecord {
+  std::size_t id;
+  std::size_t lane;
+  std::size_t begin;
+  std::size_t end;
+};
+
+struct LocalClaim {
+  std::size_t id = 0;        // 0 = none
+  const void* domain = nullptr;  // the ClaimDomain::State the claim lives in
+  std::size_t begin = 0;
+  std::size_t end = 0;
+};
+thread_local LocalClaim t_claim;
+
+}  // namespace
+
+struct ClaimDomain::State {
+  std::mutex mutex;
+  std::vector<ClaimRecord> claims;
+  std::size_t next_id = 1;
+  std::atomic<std::size_t> live{0};
+};
+
+ClaimDomain::ClaimDomain() : state_(std::make_unique<State>()) {}
+ClaimDomain::~ClaimDomain() = default;
+
+bool armed() noexcept { return g_armed.load(std::memory_order_relaxed); }
+void set_armed(bool value) noexcept {
+  g_armed.store(value, std::memory_order_relaxed);
+}
+
+MutationHooks& mutation() noexcept { return g_mutation; }
+
+WordClaim::WordClaim(ClaimDomain& domain, std::size_t lane,
+                     std::size_t word_begin, std::size_t word_end)
+    : state_(domain.state_.get()), id_(0) {
+  if (!armed()) return;
+  std::lock_guard<std::mutex> lock(state_->mutex);
+  if (t_claim.id != 0) {
+    std::ostringstream os;
+    os << "worker for lane " << lane << " opened a word claim while one is "
+       << "already live on this thread";
+    fail("word-ownership", os.str());
+  }
+  for (const ClaimRecord& c : state_->claims) {
+    if (word_begin < c.end && c.begin < word_end) {
+      std::ostringstream os;
+      os << "claim [" << word_begin << ", " << word_end << ") for lane "
+         << lane << " overlaps live claim [" << c.begin << ", " << c.end
+         << ") held for lane " << c.lane;
+      fail("word-ownership", os.str());
+    }
+  }
+  id_ = state_->next_id++;
+  state_->claims.push_back(ClaimRecord{id_, lane, word_begin, word_end});
+  t_claim = LocalClaim{id_, state_, word_begin, word_end};
+  state_->live.fetch_add(1, std::memory_order_relaxed);
+}
+
+WordClaim::~WordClaim() {
+  if (id_ == 0) return;
+  std::lock_guard<std::mutex> lock(state_->mutex);
+  for (std::size_t i = 0; i < state_->claims.size(); ++i) {
+    if (state_->claims[i].id == id_) {
+      state_->claims.erase(state_->claims.begin() +
+                           static_cast<std::ptrdiff_t>(i));
+      break;
+    }
+  }
+  t_claim = LocalClaim{};
+  state_->live.fetch_sub(1, std::memory_order_relaxed);
+}
+
+void check_word_write(const ClaimDomain& domain, std::size_t w) {
+  if (!armed()) return;
+  const ClaimDomain::State* state = domain.state_.get();
+  // Single-threaded phases (no live claims in this domain) write freely;
+  // the ownership discipline only binds while a partitioned dispatch is
+  // running.
+  if (state->live.load(std::memory_order_relaxed) == 0) return;
+  if (t_claim.id == 0 || t_claim.domain != state) {
+    std::ostringstream os;
+    os << "write to flag-plane word " << w
+       << " from a thread holding no word claim while a partitioned "
+       << "dispatch is live";
+    fail("word-ownership", os.str());
+  }
+  if (w < t_claim.begin || w >= t_claim.end) {
+    std::ostringstream os;
+    os << "write to flag-plane word " << w << " outside this thread's claim ["
+       << t_claim.begin << ", " << t_claim.end << ")";
+    fail("word-ownership", os.str());
+  }
+}
+
+void check_lane_index(std::size_t i, std::size_t lanes, const char* where) {
+  if (!armed()) return;
+  if (i >= lanes) {
+    std::ostringstream os;
+    os << where << ": lane index " << i << " out of range for " << lanes
+       << " lanes";
+    fail("lane-bounds", os.str());
+  }
+}
+
+void check_stack_read(std::size_t have, std::size_t need, const char* op) {
+  if (!armed()) return;
+  if (have < need) {
+    std::ostringstream os;
+    os << op << " needs " << need << " node(s) but the stack holds " << have;
+    fail("stack-underflow", os.str());
+  }
+}
+
+void verify_tail_zero(const std::uint64_t* words, std::size_t word_count,
+                      std::size_t lanes, const char* plane_name) {
+  if (!armed()) return;
+  if (word_count == 0) return;
+  const std::size_t base = (word_count - 1) * 64;
+  const std::size_t valid = lanes > base ? lanes - base : 0;
+  const std::uint64_t mask =
+      valid >= 64 ? ~std::uint64_t{0} : (std::uint64_t{1} << valid) - 1;
+  const std::uint64_t tail = words[word_count - 1] & ~mask;
+  if (tail != 0) {
+    std::ostringstream os;
+    os << plane_name << ": bits set past lane " << lanes
+       << " in the last word (tail=0x" << std::hex << tail << ")";
+    fail("tail-bits", os.str());
+  }
+}
+
+void check_census(std::uint64_t incremental, std::uint64_t reference,
+                  const char* quantity) {
+  if (!armed()) return;
+  if (incremental != reference) {
+    std::ostringstream os;
+    os << quantity << ": incremental census " << incremental
+       << " != reference recount " << reference;
+    fail("census-divergence", os.str());
+  }
+}
+
+void DeadLaneShadow::resize(std::size_t lanes) { dead_.assign(lanes, '\0'); }
+
+void DeadLaneShadow::clear() noexcept {
+  dead_.assign(dead_.size(), '\0');
+}
+
+void DeadLaneShadow::mark_dead(std::size_t lane) {
+  if (lane < dead_.size()) dead_[lane] = '\1';
+}
+
+void DeadLaneShadow::mark_alive(std::size_t lane) {
+  if (lane < dead_.size()) dead_[lane] = '\0';
+}
+
+bool DeadLaneShadow::is_dead(std::size_t lane) const noexcept {
+  return lane < dead_.size() && dead_[lane] != '\0';
+}
+
+void DeadLaneShadow::check_alive(std::size_t lane, const char* action) const {
+  if (!armed()) return;
+  if (is_dead(lane)) {
+    std::ostringstream os;
+    os << action << " touched the stack of fault-killed lane " << lane;
+    fail("dead-lane", os.str());
+  }
+}
+
+void verify_unique_donors(const std::uint32_t* donors, std::size_t n) {
+  if (!armed()) return;
+  // Rendezvous rounds pair at most a few hundred lanes; O(n^2) keeps the
+  // shadow state allocation-free.
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      if (donors[i] == donors[j]) {
+        std::ostringstream os;
+        os << "donor lane " << donors[i]
+           << " matched twice in one rendezvous round (pairs " << i << " and "
+           << j << ")";
+        fail("double-donation", os.str());
+      }
+    }
+  }
+}
+
+void verify_plan_cycles(const std::uint64_t* cycles, std::size_t n) {
+  if (!armed()) return;
+  for (std::size_t i = 1; i < n; ++i) {
+    if (cycles[i] < cycles[i - 1]) {
+      std::ostringstream os;
+      os << "fault-plan event " << i << " at cycle " << cycles[i]
+         << " precedes event " << i - 1 << " at cycle " << cycles[i - 1];
+      fail("plan-order", os.str());
+    }
+  }
+}
+
+}  // namespace simdts::san
+
+#endif  // SIMDTS_SANITIZE

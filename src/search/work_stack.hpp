@@ -27,6 +27,8 @@
 #include <utility>
 #include <vector>
 
+#include "sanitizer/sanitizer.hpp"
+
 namespace simdts::search {
 
 template <typename Node>
@@ -106,6 +108,9 @@ class WorkStack {
 
   /// Pops the deepest node (LIFO — depth-first order).
   Node pop() {
+#ifdef SIMDTS_SANITIZE
+    san::check_stack_read(size_, 1, "WorkStack::pop");
+#endif
     Node* p = slot_ptr(size_ - 1);
     Node n = std::move(*p);
     p->~Node();
@@ -115,6 +120,9 @@ class WorkStack {
 
   /// Removes and returns the shallowest node (bottom of the stack).
   Node take_bottom() {
+#ifdef SIMDTS_SANITIZE
+    san::check_stack_read(size_, 1, "WorkStack::take_bottom");
+#endif
     Node* p = slot_ptr(0);
     Node n = std::move(*p);
     p->~Node();
@@ -123,8 +131,18 @@ class WorkStack {
     return n;
   }
 
-  [[nodiscard]] const Node& bottom() const { return *slot_ptr(0); }
-  [[nodiscard]] const Node& top() const { return *slot_ptr(size_ - 1); }
+  [[nodiscard]] const Node& bottom() const {
+#ifdef SIMDTS_SANITIZE
+    san::check_stack_read(size_, 1, "WorkStack::bottom");
+#endif
+    return *slot_ptr(0);
+  }
+  [[nodiscard]] const Node& top() const {
+#ifdef SIMDTS_SANITIZE
+    san::check_stack_read(size_, 1, "WorkStack::top");
+#endif
+    return *slot_ptr(size_ - 1);
+  }
 
   /// Element i counted from the bottom (0 = shallowest, size()-1 = deepest);
   /// for splitters and tests.

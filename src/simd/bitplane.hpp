@@ -14,7 +14,9 @@
 // Invariant: bits at positions >= size() (the tail of the last word) are
 // always zero, so word-level reductions never need a trailing mask.  All
 // single-bit operations require i < size(); they are noexcept and unchecked,
-// like element access on the byte planes they replace.
+// like element access on the byte planes they replace — except under
+// SIMDTS_SANITIZE, where SimdSan bounds-checks the lane index and the
+// engine's per-cycle sweep verifies the zero-tail invariant.
 #pragma once
 
 #include <bit>
@@ -22,6 +24,8 @@
 #include <cstdint>
 #include <span>
 #include <vector>
+
+#include "sanitizer/sanitizer.hpp"
 
 namespace simdts::simd {
 
@@ -50,18 +54,30 @@ class BitPlane {
   [[nodiscard]] std::size_t size() const noexcept { return lanes_; }
   [[nodiscard]] bool empty() const noexcept { return lanes_ == 0; }
 
-  [[nodiscard]] bool test(std::size_t i) const noexcept {
+  [[nodiscard]] bool test(std::size_t i) const SIMDTS_SAN_NOEXCEPT {
+    SIMDTS_SAN_LANE_CHECK(i, lanes_, "BitPlane::test");
     return (words_[i / kWordBits] >> (i % kWordBits)) & 1u;
   }
-  void set(std::size_t i) noexcept {
+  void set(std::size_t i) SIMDTS_SAN_NOEXCEPT {
+    SIMDTS_SAN_LANE_CHECK(i, lanes_, "BitPlane::set");
     words_[i / kWordBits] |= std::uint64_t{1} << (i % kWordBits);
   }
-  void reset(std::size_t i) noexcept {
+  void reset(std::size_t i) SIMDTS_SAN_NOEXCEPT {
+    SIMDTS_SAN_LANE_CHECK(i, lanes_, "BitPlane::reset");
     words_[i / kWordBits] &= ~(std::uint64_t{1} << (i % kWordBits));
   }
-  void set(std::size_t i, bool value) noexcept {
+  void set(std::size_t i, bool value) SIMDTS_SAN_NOEXCEPT {
     value ? set(i) : reset(i);
   }
+
+#ifdef SIMDTS_SANITIZE
+  /// Sanitize-only: re-checks the zero-tail invariant, naming this plane in
+  /// the diagnostic.  The engine sweeps its flag planes through this once per
+  /// expansion cycle.
+  void san_verify_tail(const char* plane_name) const {
+    san::verify_tail_zero(words_.data(), words_.size(), lanes_, plane_name);
+  }
+#endif
 
   /// The packed words, low lane in bit 0 of word 0.  Writers must preserve
   /// the zero-tail invariant (tail_mask() gives the last word's valid bits).

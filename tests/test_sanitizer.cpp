@@ -1,0 +1,251 @@
+// SimdSan's mutation-test suite: each determinism discipline is deliberately
+// broken behind a test-only hook and the test asserts the sanitizer fires
+// with the *right* diagnostic (SanitizerError::invariant()), not merely that
+// something threw.  A detector you have never seen detect is indistinguishable
+// from a detector that is wired to nothing.
+//
+// The file compiles in both build flavors.  In a default build only the
+// compiled-in flag is checked here — the symbol-level zero-cost proof is the
+// lint.sanitizer_zero_cost ctest (nm over libsimdts.a), and the runtime
+// proof is bench/perf_harness's sanitizer section.
+#include "sanitizer/sanitizer.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+#ifdef SIMDTS_SANITIZE
+#include <cstdint>
+#include <thread>
+#include <utility>
+
+#include "fault/fault.hpp"
+#include "lb/config.hpp"
+#include "lb/engine.hpp"
+#include "search/work_stack.hpp"
+#include "simd/bitplane.hpp"
+#include "simd/cost_model.hpp"
+#include "simd/machine.hpp"
+#include "synthetic/tree.hpp"
+#endif
+
+namespace simdts {
+namespace {
+
+TEST(Sanitizer, CompiledInFlagMatchesBuild) {
+#ifdef SIMDTS_SANITIZE
+  EXPECT_TRUE(san::kCompiledIn);
+#else
+  // The zero-overhead contract of the default build: the flag is the only
+  // thing this TU may see of the sanitizer (symbols are checked by
+  // lint.sanitizer_zero_cost).
+  EXPECT_FALSE(san::kCompiledIn);
+#endif
+}
+
+TEST(Sanitizer, ErrorCarriesInvariantTag) {
+  const SanitizerError e("tail-bits", "plane has bits past size()");
+  EXPECT_EQ(e.invariant(), "tail-bits");
+  EXPECT_STREQ(e.what(), "[sanitizer:tail-bits] plane has bits past size()");
+}
+
+#ifdef SIMDTS_SANITIZE
+
+/// Clears every mutation hook and re-arms the sanitizer on scope exit, so a
+/// failing test cannot leak a broken-on-purpose configuration into the next.
+struct MutationGuard {
+  MutationGuard() { san::mutation().reset(); }
+  ~MutationGuard() {
+    san::mutation().reset();
+    san::set_armed(true);
+  }
+};
+
+/// Runs `fn` and asserts it throws SanitizerError naming `invariant`.
+template <typename Fn>
+void expect_fires(const char* invariant, Fn&& fn) {
+  try {
+    std::forward<Fn>(fn)();
+    FAIL() << "expected SanitizerError(" << invariant << "), nothing thrown";
+  } catch (const SanitizerError& e) {
+    EXPECT_EQ(e.invariant(), invariant) << "wrong diagnostic: " << e.what();
+  }
+}
+
+/// A moderate synthetic-tree run that exercises expansion, lb phases and
+/// (with a plan) the kill/recovery path — the scenario every engine-level
+/// mutation test perturbs.
+lb::RunStats run_synthetic(std::uint32_t p,
+                           const fault::FaultPlan* plan = nullptr) {
+  const synthetic::Tree tree(synthetic::Params{9013, 4, 0.395, 14});
+  simd::Machine machine(p, simd::cm2_cost_model());
+  lb::Engine<synthetic::Tree> engine(tree, machine, lb::gp_static(0.9));
+  if (plan != nullptr) engine.arm_faults(plan);
+  return engine.run();
+}
+
+// ---------------------------------------------------------------------------
+// Positive control: armed, unmutated runs pass every check and the checks
+// never change simulated results.
+// ---------------------------------------------------------------------------
+
+TEST(Sanitizer, CleanRunPassesAllChecksArmedAndDisarmed) {
+  MutationGuard guard;
+  san::set_armed(true);
+  const lb::RunStats armed = run_synthetic(64);
+  san::set_armed(false);
+  const lb::RunStats disarmed = run_synthetic(64);
+  EXPECT_EQ(armed.total.nodes_expanded, disarmed.total.nodes_expanded);
+  EXPECT_EQ(armed.total.lb_phases, disarmed.total.lb_phases);
+  EXPECT_EQ(armed.goals_found, disarmed.goals_found);
+}
+
+TEST(Sanitizer, CleanFaultRunPassesAllChecks) {
+  MutationGuard guard;
+  const fault::FaultPlan plan =
+      fault::FaultPlan::random_kills(77, 64, 9, 5, 60);
+  EXPECT_NO_THROW(run_synthetic(64, &plan));
+}
+
+// ---------------------------------------------------------------------------
+// Mutation tests: one per invariant.
+// ---------------------------------------------------------------------------
+
+TEST(SanitizerMutation, ShrunkWordClaimTripsWordOwnership) {
+  MutationGuard guard;
+  san::mutation().shrink_word_claim = true;
+  // P=64 is a single flag word: the shrunk claim is empty, so the very
+  // first write-back is outside it.
+  expect_fires("word-ownership", [] { run_synthetic(64); });
+}
+
+TEST(SanitizerMutation, ExpandingADeadLaneTripsDeadLane) {
+  MutationGuard guard;
+  san::mutation().expand_dead_lane = true;
+  const fault::FaultPlan plan({{2, fault::FaultKind::kKillPe, 0, 0}});
+  // With the dead mask ignored, lane 0 re-enters the active set the cycle
+  // after its kill; the shadow plane catches the expansion read.
+  expect_fires("dead-lane", [&] { run_synthetic(64, &plan); });
+}
+
+TEST(SanitizerMutation, DonationFromADeadLaneTripsDeadLane) {
+  MutationGuard guard;
+  san::mutation().donate_from_dead = true;
+  const fault::FaultPlan plan({{2, fault::FaultKind::kKillPe, 0, 0}});
+  expect_fires("dead-lane", [&] { run_synthetic(64, &plan); });
+}
+
+TEST(SanitizerMutation, DuplicateMatchPairTripsDoubleDonation) {
+  MutationGuard guard;
+  san::mutation().duplicate_match_pair = true;
+  // Fires at the first rendezvous round that matches two or more pairs.
+  expect_fires("double-donation", [] { run_synthetic(64); });
+}
+
+TEST(SanitizerMutation, CorruptedTailTripsTailBits) {
+  MutationGuard guard;
+  san::mutation().corrupt_tail = true;
+  // P=100 leaves 28 invalid tail bits in the last word for the mutation to
+  // flip (at P%64==0 there is no tail and the mutation is a no-op).
+  expect_fires("tail-bits", [] { run_synthetic(100); });
+}
+
+TEST(SanitizerMutation, DroppedCensusDeltaTripsCensusDivergence) {
+  MutationGuard guard;
+  san::mutation().drop_census_delta = true;
+  expect_fires("census-divergence", [] { run_synthetic(64); });
+}
+
+TEST(SanitizerMutation, UnsortedFaultPlanTripsPlanOrder) {
+  MutationGuard guard;
+  san::mutation().skip_plan_sort = true;
+  expect_fires("plan-order", [] {
+    const fault::FaultPlan plan({{50, fault::FaultKind::kKillPe, 3, 0},
+                                 {10, fault::FaultKind::kKillPe, 1, 0}});
+    (void)plan;  // unreachable: the ctor's order verification throws
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Direct checks on the primitive detectors.
+// ---------------------------------------------------------------------------
+
+TEST(SanitizerPrimitives, StackUnderflowIsCaught) {
+  MutationGuard guard;
+  search::WorkStack<int> stack;
+  expect_fires("stack-underflow", [&] { stack.pop(); });
+  expect_fires("stack-underflow", [&] { stack.take_bottom(); });
+  expect_fires("stack-underflow", [&] { (void)stack.top(); });
+  stack.push(7);
+  EXPECT_EQ(stack.pop(), 7);  // a legal pop stays legal
+}
+
+TEST(SanitizerPrimitives, LaneBoundsAreCaught) {
+  MutationGuard guard;
+  simd::BitPlane plane(10);
+  expect_fires("lane-bounds", [&] { (void)plane.test(10); });
+  expect_fires("lane-bounds", [&] { plane.set(10); });
+  EXPECT_NO_THROW(plane.set(9));
+}
+
+TEST(SanitizerPrimitives, NestedWordClaimOnOneThreadIsCaught) {
+  MutationGuard guard;
+  san::ClaimDomain domain;
+  san::WordClaim outer(domain, 0, 0, 4);
+  expect_fires("word-ownership",
+               [&] { san::WordClaim inner(domain, 1, 8, 12); });
+  // Writes inside the claim pass; outside it they fail.
+  EXPECT_NO_THROW(san::check_word_write(domain, 2));
+  expect_fires("word-ownership", [&] { san::check_word_write(domain, 4); });
+}
+
+TEST(SanitizerPrimitives, ClaimsInSeparateDomainsDoNotCollide) {
+  MutationGuard guard;
+  // Independent engines (one per sweep grid point) legitimately run the
+  // same word ranges at the same time; only claims within one domain race.
+  san::ClaimDomain a;
+  san::ClaimDomain b;
+  san::WordClaim claim_a(a, 0, 0, 4);
+  EXPECT_NO_THROW(san::check_word_write(a, 2));
+  // A second thread claiming the same words of a *different* domain is fine.
+  std::thread other([&] {
+    san::WordClaim claim_b(b, 0, 0, 4);
+    EXPECT_NO_THROW(san::check_word_write(b, 2));
+  });
+  other.join();
+}
+
+TEST(SanitizerPrimitives, WritesWithNoLiveClaimsAreFree) {
+  MutationGuard guard;
+  // Serial sections (census updates, transfers) hold no claims; the
+  // ownership discipline binds only during a partitioned dispatch.
+  san::ClaimDomain domain;
+  EXPECT_NO_THROW(san::check_word_write(domain, 123456));
+}
+
+TEST(SanitizerPrimitives, DisarmedChecksNeverFire) {
+  MutationGuard guard;
+  san::set_armed(false);
+  search::WorkStack<int> stack;
+  EXPECT_NO_THROW((void)stack.size());
+  simd::BitPlane plane(10);
+  EXPECT_NO_THROW((void)plane.test(10));  // out of range, but disarmed
+  const std::uint64_t cycles[] = {50, 10};
+  EXPECT_NO_THROW(san::verify_plan_cycles(cycles, 2));
+}
+
+TEST(SanitizerPrimitives, DeadLaneShadowTracksKillAndRevive) {
+  MutationGuard guard;
+  san::DeadLaneShadow shadow;
+  shadow.resize(8);
+  EXPECT_NO_THROW(shadow.check_alive(3, "expand"));
+  shadow.mark_dead(3);
+  expect_fires("dead-lane", [&] { shadow.check_alive(3, "expand"); });
+  shadow.mark_alive(3);
+  EXPECT_NO_THROW(shadow.check_alive(3, "expand"));
+}
+
+#endif  // SIMDTS_SANITIZE
+
+}  // namespace
+}  // namespace simdts

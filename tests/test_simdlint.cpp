@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "simdlint/baseline.hpp"
+#include "simdlint/include_graph.hpp"
 #include "simdlint/lexer.hpp"
 #include "simdlint/report.hpp"
 #include "simdlint/rules.hpp"
@@ -440,10 +441,129 @@ TEST(SimdlintRules, CatalogCoversAllFourDisciplines) {
   for (const char* expected :
        {"no-rand", "no-wall-clock", "no-unordered-io-iter", "no-pointer-order",
         "typed-errors", "lockstep-io", "header-pragma-once",
-        "header-using-namespace"}) {
+        "header-using-namespace", "layering"}) {
     EXPECT_NE(std::find(ids.begin(), ids.end(), expected), ids.end())
         << expected;
   }
+}
+
+// ---------------------------------------------------------------------------
+// Include graph: layering DAG and cycle detection (simdlint v2)
+// ---------------------------------------------------------------------------
+
+TEST(SimdlintIncludeGraph, QuotedIncludesAreExtractedFromRawOffsets) {
+  // The lexer blanks string contents in `code`, so the extractor must read
+  // the path back from `raw`; directives in comments must not count.
+  const auto f = simdlint::SourceFile::parse("src/lb/x.hpp",
+                                             "#pragma once\n"
+                                             "#include \"lb/config.hpp\"\n"
+                                             "  #  include \"simd/scan.hpp\"\n"
+                                             "#include <vector>\n"
+                                             "// #include \"fault/fault.hpp\"\n"
+                                             "const char* s = \"#include "
+                                             "\\\"analysis/model.hpp\\\"\";\n");
+  const auto edges = simdlint::quoted_includes(f);
+  ASSERT_EQ(edges.size(), 2u);
+  EXPECT_EQ(edges[0].target, "lb/config.hpp");
+  EXPECT_EQ(edges[0].line, 2u);
+  EXPECT_EQ(edges[1].target, "simd/scan.hpp");
+  EXPECT_EQ(edges[1].line, 3u);
+}
+
+TEST(SimdlintIncludeGraph, ModuleRanksFormTheDocumentedDag) {
+  EXPECT_LT(simdlint::module_rank("common"), simdlint::module_rank("sanitizer"));
+  EXPECT_LT(simdlint::module_rank("sanitizer"), simdlint::module_rank("simd"));
+  EXPECT_LT(simdlint::module_rank("simd"), simdlint::module_rank("search"));
+  EXPECT_LT(simdlint::module_rank("search"), simdlint::module_rank("fault"));
+  EXPECT_LT(simdlint::module_rank("fault"), simdlint::module_rank("puzzle"));
+  EXPECT_LT(simdlint::module_rank("puzzle"), simdlint::module_rank("lb"));
+  EXPECT_LT(simdlint::module_rank("lb"), simdlint::module_rank("baselines"));
+  EXPECT_LT(simdlint::module_rank("baselines"),
+            simdlint::module_rank("runtime"));
+  EXPECT_LT(simdlint::module_rank("runtime"),
+            simdlint::module_rank("analysis"));
+  // Sibling domain modules share a rank; unknown modules have none.
+  EXPECT_EQ(simdlint::module_rank("queens"), simdlint::module_rank("tsp"));
+  EXPECT_EQ(simdlint::module_rank("nonsense"), -1);
+  EXPECT_EQ(simdlint::module_of("src/lb/engine.hpp"), "lb");
+  EXPECT_EQ(simdlint::module_of("fault/fault.hpp"), "fault");
+  EXPECT_EQ(simdlint::module_of("src/version.hpp"), "");
+}
+
+TEST(SimdlintLayering, UpRankIncludeIsAViolation) {
+  const auto fs = active("src/simd/bad.hpp",
+                         "#pragma once\n#include \"lb/engine.hpp\"\n");
+  ASSERT_TRUE(has_rule(fs, "layering"));
+}
+
+TEST(SimdlintLayering, SiblingDomainIncludeIsAViolation) {
+  const auto fs = active("src/puzzle/bad.hpp",
+                         "#pragma once\n#include \"queens/queens.hpp\"\n");
+  EXPECT_TRUE(has_rule(fs, "layering"));
+}
+
+TEST(SimdlintLayering, DownRankSameModuleAndOutsideSrcAreFine) {
+  EXPECT_TRUE(active("src/lb/ok.hpp",
+                     "#pragma once\n"
+                     "#include \"common/error.hpp\"\n"
+                     "#include \"fault/fault.hpp\"\n"
+                     "#include \"lb/config.hpp\"\n"
+                     "#include <vector>\n")
+                  .empty());
+  // The rule scopes to src/: tests and tools include whatever they need.
+  EXPECT_TRUE(active("tests/test_x.cpp", "#include \"lb/engine.hpp\"\n")
+                  .empty());
+  // A bare filename is a same-directory include, not a module edge.
+  EXPECT_TRUE(
+      active("src/simd/ok.hpp", "#pragma once\n#include \"scan.hpp\"\n")
+          .empty());
+}
+
+TEST(SimdlintLayering, SuppressionAppliesLikeAnyRule) {
+  const auto fs = active("src/simd/bad.hpp",
+                         "#pragma once\n"
+                         "// SIMDLINT-ALLOW(layering): test fixture\n"
+                         "#include \"lb/engine.hpp\"\n");
+  EXPECT_FALSE(has_rule(fs, "layering"));
+}
+
+TEST(SimdlintIncludeGraph, CycleAcrossFilesIsReportedOnce) {
+  std::vector<simdlint::SourceFile> files;
+  files.push_back(simdlint::SourceFile::parse(
+      "src/lb/a.hpp", "#pragma once\n#include \"lb/b.hpp\"\n"));
+  files.push_back(simdlint::SourceFile::parse(
+      "src/lb/b.hpp", "#pragma once\n#include \"lb/c.hpp\"\n"));
+  files.push_back(simdlint::SourceFile::parse(
+      "src/lb/c.hpp", "#pragma once\n#include \"lb/a.hpp\"\n"));
+  const auto findings = simdlint::find_include_cycles(files);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "include-cycle");
+  EXPECT_EQ(findings[0].path, "src/lb/a.hpp");  // smallest path anchors
+  EXPECT_EQ(findings[0].line, 2u);
+  EXPECT_NE(findings[0].message.find("src/lb/a.hpp -> src/lb/b.hpp -> "
+                                     "src/lb/c.hpp -> src/lb/a.hpp"),
+            std::string::npos)
+      << findings[0].message;
+}
+
+TEST(SimdlintIncludeGraph, AcyclicGraphAndForeignTargetsReportNothing) {
+  std::vector<simdlint::SourceFile> files;
+  files.push_back(simdlint::SourceFile::parse(
+      "src/lb/a.hpp",
+      "#pragma once\n#include \"lb/b.hpp\"\n#include <vector>\n"));
+  files.push_back(simdlint::SourceFile::parse(
+      "src/lb/b.hpp", "#pragma once\n#include \"common/error.hpp\"\n"));
+  // common/error.hpp is not in the set: no edge, no crash.
+  EXPECT_TRUE(simdlint::find_include_cycles(files).empty());
+}
+
+TEST(SimdlintIncludeGraph, SelfIncludeIsACycle) {
+  std::vector<simdlint::SourceFile> files;
+  files.push_back(simdlint::SourceFile::parse(
+      "src/lb/a.hpp", "#pragma once\n#include \"lb/a.hpp\"\n"));
+  const auto findings = simdlint::find_include_cycles(files);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "include-cycle");
 }
 
 }  // namespace

@@ -1,0 +1,60 @@
+// simdlint v2: include-graph analysis — module layering and cycle detection.
+//
+// The library's modules form a DAG (documented in src/CMakeLists.txt): lower
+// layers never include higher ones, and sibling domain modules (puzzle,
+// queens, tsp, ...) never include each other.  Token rules cannot see this —
+// it is a property of the `#include` edges — so this layer parses the quoted
+// includes out of each lexed file, checks every edge against the rank table
+// (rule "layering", per file, registered in default_rules()), and runs a DFS
+// over the whole parsed file set for include cycles (rule "include-cycle",
+// cross-file, driven from main.cpp after the per-file pass).
+//
+// The rank table below is the authoritative machine-readable form of the
+// layering diagram in docs/static-analysis.md; keep the two in sync.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "simdlint/lexer.hpp"
+#include "simdlint/rules.hpp"
+
+namespace simdlint {
+
+/// One quoted `#include "..."` directive.  Angle-bracket includes carry no
+/// layering information (they are system headers) and are not collected.
+struct IncludeEdge {
+  std::size_t line = 0;  // 1-based line of the directive
+  std::string target;    // include path, verbatim ("lb/engine.hpp")
+};
+
+/// The quoted includes of `file`, in source order.  Extracted from the
+/// lexer's blanked `code` view (so a "#include" inside a comment or string
+/// never counts) with the path text recovered from `raw` at the same byte
+/// offsets (blanking preserves offsets exactly).
+std::vector<IncludeEdge> quoted_includes(const SourceFile& file);
+
+/// The module ("lb", "simd", ...) of a path: the first component after an
+/// optional "src/" prefix, when at least one more component follows.  Empty
+/// for paths outside the module tree ("src/foo.hpp", "main.cpp").
+std::string module_of(const std::string& path);
+
+/// Layer rank of a module name, or -1 when the module is not in the table.
+/// Lower ranks must never include higher ones; equal ranks on *different*
+/// modules (the sibling domain layers) must not include each other.
+int module_rank(const std::string& module);
+
+/// The "layering" rule for default_rules(): checks every quoted include of a
+/// src/ file against the rank table.
+std::unique_ptr<Rule> make_layering_rule();
+
+/// Cross-file pass: DFS over the quoted-include graph of the src/ files in
+/// `files`, reporting one "include-cycle" finding per distinct cycle,
+/// anchored at the lexicographically smallest participating path.  Findings
+/// are not SIMDLINT-ALLOW-suppressible (a cycle has no single owning line)
+/// but respect the baseline like any other rule.
+std::vector<Finding> find_include_cycles(const std::vector<SourceFile>& files);
+
+}  // namespace simdlint

@@ -2,13 +2,19 @@
 //
 // Usage:
 //   simdlint [--repo-root DIR] [--baseline FILE] [--write-baseline FILE]
-//            [--json FILE|-] [--list-rules] [--verbose] [paths...]
+//            [--changed-files FILE] [--json FILE|-] [--list-rules]
+//            [--verbose] [paths...]
 //
 // With no paths, lints the default roots (src bench tests tools examples)
-// under the repo root.  Exit status: 0 when no *active* findings remain
-// after SIMDLINT-ALLOW suppressions and the baseline; 1 when active
-// findings exist; 2 on usage or I/O errors.  File discovery and reporting
-// are byte-deterministic: paths are walked in sorted order.
+// under the repo root.  --changed-files restricts the run to the
+// newline-separated repo-relative paths in FILE (missing/deleted and
+// non-C++ entries are skipped) — the CI lint job feeds it the PR's diff;
+// note the include-cycle pass then only sees that subset, so the full-tree
+// run behind `ctest -R lint.simdlint` remains the authoritative gate.
+// Exit status: 0 when no *active* findings remain after SIMDLINT-ALLOW
+// suppressions and the baseline; 1 when active findings exist; 2 on usage
+// or I/O errors.  File discovery and reporting are byte-deterministic:
+// paths are walked in sorted order.
 #include <algorithm>
 #include <cstdlib>
 #include <filesystem>
@@ -19,6 +25,7 @@
 #include <vector>
 
 #include "simdlint/baseline.hpp"
+#include "simdlint/include_graph.hpp"
 #include "simdlint/lexer.hpp"
 #include "simdlint/report.hpp"
 #include "simdlint/rules.hpp"
@@ -74,6 +81,9 @@ int usage(std::ostream& out, int code) {
          "  --repo-root DIR        root for rule scoping (default: .)\n"
          "  --baseline FILE        accept findings listed in FILE\n"
          "  --write-baseline FILE  write current findings as the baseline\n"
+         "  --changed-files FILE   lint only the repo-relative paths listed\n"
+         "                         in FILE (one per line; missing or non-C++\n"
+         "                         entries are skipped)\n"
          "  --json FILE|-          write a JSON report (- for stdout)\n"
          "  --list-rules           print the rule catalog and exit\n"
          "  --verbose              show suppressed and baselined findings\n"
@@ -87,6 +97,7 @@ int main(int argc, char** argv) {
   std::string repo_root = ".";
   std::string baseline_path;
   std::string write_baseline_path;
+  std::string changed_files_path;
   std::string json_path;
   bool verbose = false;
   std::vector<std::string> inputs;
@@ -106,6 +117,8 @@ int main(int argc, char** argv) {
       baseline_path = next("--baseline");
     } else if (arg == "--write-baseline") {
       write_baseline_path = next("--write-baseline");
+    } else if (arg == "--changed-files") {
+      changed_files_path = next("--changed-files");
     } else if (arg == "--json") {
       json_path = next("--json");
     } else if (arg == "--verbose" || arg == "-v") {
@@ -127,7 +140,27 @@ int main(int argc, char** argv) {
 
   const fs::path root(repo_root);
   std::vector<fs::path> files;
-  if (inputs.empty()) {
+  if (!changed_files_path.empty()) {
+    std::ifstream in(changed_files_path, std::ios::binary);
+    if (!in) {
+      std::cerr << "simdlint: cannot read " << changed_files_path << "\n";
+      return 2;
+    }
+    std::string entry;
+    while (std::getline(in, entry)) {
+      while (!entry.empty() && (entry.back() == '\r' || entry.back() == ' ')) {
+        entry.pop_back();
+      }
+      if (entry.empty()) continue;
+      fs::path p(entry);
+      if (p.is_relative()) p = root / p;
+      std::error_code ec;
+      // Deleted files still appear in diffs; skip anything that is gone or
+      // not a lintable C++ file rather than erroring the whole run.
+      if (!fs::is_regular_file(p, ec) || !lintable_extension(p)) continue;
+      files.push_back(p);
+    }
+  } else if (inputs.empty()) {
     for (const char* d : kDefaultRoots) {
       collect_files(root / d, files);
     }
@@ -146,6 +179,8 @@ int main(int argc, char** argv) {
 
   const auto rules = simdlint::default_rules();
   std::vector<simdlint::Finding> findings;
+  std::vector<simdlint::SourceFile> parsed_files;
+  parsed_files.reserve(files.size());
   for (const fs::path& file : files) {
     std::ifstream in(file, std::ios::binary);
     if (!in) {
@@ -154,12 +189,21 @@ int main(int argc, char** argv) {
     }
     std::ostringstream text;
     text << in.rdbuf();
-    const auto parsed =
-        simdlint::SourceFile::parse(to_repo_rel(file, root), text.str());
-    auto file_findings = simdlint::lint_file(parsed, rules);
+    parsed_files.push_back(
+        simdlint::SourceFile::parse(to_repo_rel(file, root), text.str()));
+    auto file_findings = simdlint::lint_file(parsed_files.back(), rules);
     findings.insert(findings.end(),
                     std::make_move_iterator(file_findings.begin()),
                     std::make_move_iterator(file_findings.end()));
+  }
+  // Cross-file pass: include cycles can only be seen over the whole parsed
+  // set (with --changed-files this is the subset — the full-tree ctest run
+  // stays authoritative for cycle coverage).
+  {
+    auto cycle_findings = simdlint::find_include_cycles(parsed_files);
+    findings.insert(findings.end(),
+                    std::make_move_iterator(cycle_findings.begin()),
+                    std::make_move_iterator(cycle_findings.end()));
   }
   std::sort(findings.begin(), findings.end(),
             [](const simdlint::Finding& a, const simdlint::Finding& b) {
@@ -189,6 +233,10 @@ int main(int argc, char** argv) {
     const std::set<std::string> accepted = simdlint::load_baseline(in);
     const std::vector<std::string> fps = simdlint::fingerprints(findings);
     for (std::size_t i = 0; i < findings.size(); ++i) {
+      // A stale SIMDLINT-ALLOW must be *removed*, never grandfathered: an
+      // unused-suppression finding stays active even when baselined, so the
+      // lint gate fails until the directive is deleted.
+      if (findings[i].rule == "unused-suppression") continue;
       if (!findings[i].suppressed && accepted.count(fps[i]) > 0) {
         findings[i].baselined = true;
       }

@@ -6,6 +6,8 @@
 #include <cstddef>
 #include <set>
 
+#include "simdlint/include_graph.hpp"
+
 namespace simdlint {
 
 namespace {
@@ -714,6 +716,7 @@ std::vector<std::unique_ptr<Rule>> default_rules() {
   rules.push_back(std::make_unique<LockstepIoRule>());
   rules.push_back(std::make_unique<HeaderPragmaOnceRule>());
   rules.push_back(std::make_unique<HeaderUsingNamespaceRule>());
+  rules.push_back(make_layering_rule());
   return rules;
 }
 
