@@ -188,9 +188,14 @@ void BM_CensusBitPlane(benchmark::State& state) {
 }
 BENCHMARK(BM_CensusBitPlane)->Arg(1 << 10)->Arg(1 << 14);
 
+// Second arg: busy lanes out of 10, so the enumerated idle plane ranges
+// from sparse (busy=9 -> 10% idle) to dense (busy=1 -> 90% idle).  The
+// packed kernel is a branch-free byte-table expansion whose cost must not
+// depend on occupancy; the byte kernel's per-lane branch does.
 void BM_EnumerateBytes(benchmark::State& state) {
   const auto p = static_cast<std::size_t>(state.range(0));
-  const Occupancy o = make_occupancy(p, 13, 7);
+  const auto busy = static_cast<unsigned>(state.range(1));
+  const Occupancy o = make_occupancy(p, 13, busy);
   std::vector<std::uint32_t> ranks(p);
   for (auto _ : state) {
     benchmark::DoNotOptimize(simd::enumerate(o.idle, ranks));
@@ -199,11 +204,16 @@ void BM_EnumerateBytes(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
                           static_cast<std::int64_t>(p));
 }
-BENCHMARK(BM_EnumerateBytes)->Arg(1 << 10)->Arg(1 << 14);
+BENCHMARK(BM_EnumerateBytes)
+    ->Args({1 << 10, 7})
+    ->Args({1 << 14, 9})
+    ->Args({1 << 14, 7})
+    ->Args({1 << 14, 1});
 
 void BM_EnumerateBitPlane(benchmark::State& state) {
   const auto p = static_cast<std::size_t>(state.range(0));
-  const Occupancy o = make_occupancy(p, 13, 7);
+  const auto busy = static_cast<unsigned>(state.range(1));
+  const Occupancy o = make_occupancy(p, 13, busy);
   std::vector<std::uint32_t> ranks(p);
   for (auto _ : state) {
     benchmark::DoNotOptimize(simd::enumerate(o.idle_plane, ranks));
@@ -212,7 +222,11 @@ void BM_EnumerateBitPlane(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
                           static_cast<std::int64_t>(p));
 }
-BENCHMARK(BM_EnumerateBitPlane)->Arg(1 << 10)->Arg(1 << 14);
+BENCHMARK(BM_EnumerateBitPlane)
+    ->Args({1 << 10, 7})
+    ->Args({1 << 14, 9})
+    ->Args({1 << 14, 7})
+    ->Args({1 << 14, 1});
 
 void BM_NeighborPairsBytes(benchmark::State& state) {
   const auto p = static_cast<std::size_t>(state.range(0));
@@ -236,6 +250,13 @@ BENCHMARK(BM_NeighborPairsBitPlane)->Arg(1 << 13);
 
 // Batched child staging: the old per-child push path (clear + push_back per
 // node) vs the flat staging buffer + run-append the expansion loop now uses.
+// Read these two as a parity check, not a race: both variants spend their
+// time inside tree.expand, and the staging difference is a handful of
+// memory-bound node copies per expansion, so they time within noise of each
+// other (~1.0x).  The batched path is shipped because the single run-append
+// amortizes the stack's bounds/ownership checks and is the shape the
+// vector backend's batch expansion needs — not because this microbenchmark
+// shows a win.
 void BM_ChildStagingPerNode(benchmark::State& state) {
   const synthetic::Tree tree(synthetic::Params{5, 4, 0.38, 30});
   search::WorkStack<synthetic::Tree::Node> stack;

@@ -43,12 +43,14 @@
 #include "iso_common.hpp"
 #include "lb/engine.hpp"
 #include "lb/matching.hpp"
+#include "puzzle/fifteen.hpp"
 #include "runtime/sweep.hpp"
 #include "sanitizer/sanitizer.hpp"
 #include "search/work_stack.hpp"
 #include "simd/bitplane.hpp"
 #include "simd/scan.hpp"
 #include "synthetic/tree.hpp"
+#include "vec/expand.hpp"
 
 namespace {
 
@@ -98,6 +100,15 @@ struct KernelSample {
   const char* name;
   double scalar_ns = 0.0;
   double packed_ns = 0.0;
+  /// JSON key names for the two sides (the default pair fits the byte-plane
+  /// vs bit-plane kernels; child_staging is a different kind of comparison).
+  const char* scalar_key = "scalar_ns";
+  const char* packed_key = "bitplane_ns";
+  /// When false, no "speedup" is emitted: both sides are dominated by the
+  /// same work (child_staging spends its time inside tree.expand either
+  /// way, so the ratio is measurement noise presented as a result — parity
+  /// is the expected outcome, and the raw times are reported as such).
+  bool report_speedup = true;
   [[nodiscard]] double speedup() const {
     return packed_ns > 0.0 ? scalar_ns / packed_ns : 0.0;
   }
@@ -203,7 +214,13 @@ std::vector<KernelSample> run_kernel_benchmarks(unsigned reps,
 
   // Child staging: per-node clear+push (the old hot loop) vs flat staging
   // buffer + batched WorkStack::append (the shipped one).  Both expand the
-  // same deterministic node stream.
+  // same deterministic node stream, and both are dominated by that
+  // expansion: the staging variants differ only in how a handful of child
+  // nodes reach the stack, which is memory-bound copy work either way.
+  // Parity (~1.0x) is the honest expectation — the batched path is shipped
+  // for the append's single bounds check and its fit with batch expansion,
+  // not for a microbenchmark win — so this sample reports raw times and no
+  // speedup (see KernelSample::report_speedup).
   const synthetic::Tree tree(synthetic::Params{5, 4, 0.38, 30});
   const std::size_t expand_iters = iters;
   search::NextBound nb;
@@ -214,6 +231,9 @@ std::vector<KernelSample> run_kernel_benchmarks(unsigned reps,
   search::WorkStack<synthetic::Tree::Node> stack;
   std::vector<synthetic::Tree::Node> staging;
   KernelSample staging_sample{"child_staging"};
+  staging_sample.scalar_key = "per_node_ns";
+  staging_sample.packed_key = "batched_ns";
+  staging_sample.report_speedup = false;
   seed_stack(stack);
   staging_sample.scalar_ns = time_kernel_ns(reps, expand_iters, sink, [&] {
     if (stack.empty()) seed_stack(stack);
@@ -239,6 +259,52 @@ std::vector<KernelSample> run_kernel_benchmarks(unsigned reps,
 
   return out;
 }
+
+#ifdef SIMDTS_VECTOR_BACKEND
+
+/// Median ns per 64-node batch: scalar fallback vs SIMD batch kernel on the
+/// same breadth-first node pool.  Both sides run the identical node stream
+/// (rotating 64-node windows), so the ratio is the kernel's own win.
+template <typename P>
+std::pair<double, double> time_batch_expand(const P& problem, unsigned reps,
+                                            std::size_t iters,
+                                            std::uint64_t& sink) {
+  std::vector<typename P::Node> pool;
+  std::vector<typename P::Node> frontier{problem.root()};
+  search::NextBound nb;
+  while (pool.size() < 4096 && !frontier.empty()) {
+    std::vector<typename P::Node> next;
+    for (const auto& n : frontier) {
+      pool.push_back(n);
+      problem.expand(n, search::kUnbounded, next, nb);
+    }
+    frontier = std::move(next);
+  }
+  constexpr std::uint32_t kBatch = 64;
+  while (pool.size() < kBatch) pool.push_back(problem.root());
+  const std::size_t span = pool.size() - kBatch + 1;
+  std::vector<typename P::Node> out;
+  std::vector<std::uint32_t> counts(kBatch);
+  std::size_t pos = 0;
+  const double scalar_ns = time_kernel_ns(reps, iters, sink, [&] {
+    out.clear();
+    search::expand_batch_fallback(problem, pool.data() + pos, kBatch,
+                                  search::kUnbounded, out, counts.data(), nb);
+    pos = (pos + kBatch) % span;
+    return static_cast<std::uint64_t>(out.size());
+  });
+  pos = 0;
+  const double vector_ns = time_kernel_ns(reps, iters, sink, [&] {
+    out.clear();
+    vec::BatchExpander<P>::expand(problem, pool.data() + pos, kBatch,
+                                  search::kUnbounded, out, counts.data(), nb);
+    pos = (pos + kBatch) % span;
+    return static_cast<std::uint64_t>(out.size());
+  });
+  return {scalar_ns, vector_ns};
+}
+
+#endif  // SIMDTS_VECTOR_BACKEND
 
 }  // namespace
 
@@ -455,9 +521,119 @@ int main() {
                "construction, held by lint.sanitizer_zero_cost\n\n";
 #endif
 
+  std::uint64_t sink = 0;
+
+  // --- Vector backend: build-flavor gate + scalar-vs-vector equality. -----
+  // Same two-sided contract as the sanitizer: the default build must NOT
+  // contain the backend (CI's default perf smoke runs without
+  // SIMDTS_EXPECT_VECTOR and hard-fails if the backend leaked in), the
+  // x86-64-v3 job sets SIMDTS_EXPECT_VECTOR=1 and hard-fails if it is
+  // missing.  When present, the scalar engine stays the reference: a vector
+  // run whose IterationStats differ from the scalar run is a FATAL error,
+  // never a reported speedup.
+  const char* expect_vec_env = std::getenv("SIMDTS_EXPECT_VECTOR");
+  const bool expect_vector = expect_vec_env != nullptr &&
+                             expect_vec_env[0] != '\0' &&
+                             expect_vec_env[0] != '0';
+  if (vec::kCompiledIn != expect_vector) {
+    std::cout << "\nFATAL: vector backend compiled_in="
+              << (vec::kCompiledIn ? "true" : "false") << " but this run "
+              << (expect_vector
+                      ? "expected a SIMDTS_VECTOR_BACKEND=ON build "
+                        "(SIMDTS_EXPECT_VECTOR is set)."
+                      : "expected the default build — the backend leaked in "
+                        "and -march=x86-64-v3 codegen would contaminate "
+                        "every number in this report.")
+              << "\n";
+    return 1;
+  }
+  double vec_scalar_wall = 0.0;
+  double vec_vector_wall = 0.0;
+  double vec_tree_scalar_ns = 0.0;
+  double vec_tree_vector_ns = 0.0;
+  double vec_fifteen_scalar_ns = 0.0;
+  double vec_fifteen_vector_ns = 0.0;
+#ifdef SIMDTS_VECTOR_BACKEND
+  {
+    const synthetic::Tree tree(big.params);
+    lb::IterationStats scalar_ref;
+    std::vector<double> scalar_walls;
+    std::vector<double> vector_walls;
+    bool vec_identical = true;
+    for (unsigned rep = 0; rep < reps; ++rep) {
+      simd::Machine scalar_machine(sizes.back(), cost);
+      lb::Engine<synthetic::Tree> scalar_engine(tree, scalar_machine, cfg);
+      auto start = Clock::now();
+      const lb::IterationStats scalar_stats =
+          scalar_engine.run_iteration(search::kUnbounded);
+      scalar_walls.push_back(seconds_since(start));
+      if (rep == 0) {
+        scalar_ref = scalar_stats;
+      } else if (!(scalar_stats == scalar_ref)) {
+        vec_identical = false;
+      }
+
+      simd::Machine vector_machine(sizes.back(), cost);
+      lb::Engine<synthetic::Tree> vector_engine(tree, vector_machine, cfg);
+      vector_engine.set_backend(lb::ExecBackend::kVector);
+      start = Clock::now();
+      const lb::IterationStats vector_stats =
+          vector_engine.run_iteration(search::kUnbounded);
+      vector_walls.push_back(seconds_since(start));
+      if (!(vector_stats == scalar_ref)) vec_identical = false;
+    }
+    if (!vec_identical) {
+      std::cout << "\nFATAL: the vector backend changed the simulated "
+                   "results — a speedup obtained by changing the answer is "
+                   "a bug, not a result.\n";
+      return 1;
+    }
+    vec_scalar_wall = median(std::move(scalar_walls));
+    vec_vector_wall = median(std::move(vector_walls));
+    std::cout << "vector backend (SIMDTS_VECTOR_BACKEND=ON build): engine "
+              << analysis::format_double(vec_vector_wall, 3) << " s vs "
+              << analysis::format_double(vec_scalar_wall, 3)
+              << " s scalar (interleaved), speedup "
+              << analysis::format_double(
+                     vec_vector_wall > 0.0 ? vec_scalar_wall / vec_vector_wall
+                                           : 0.0,
+                     2)
+              << "x, results bit-identical\n";
+
+    const std::size_t batch_iters = analysis::quick_mode() ? 2000 : 10000;
+    std::tie(vec_tree_scalar_ns, vec_tree_vector_ns) =
+        time_batch_expand(tree, reps, batch_iters, sink);
+    const puzzle::FifteenPuzzle fifteen(puzzle::random_walk(7, 80));
+    std::tie(vec_fifteen_scalar_ns, vec_fifteen_vector_ns) =
+        time_batch_expand(fifteen, reps, batch_iters, sink);
+    std::cout << "  batch expand (64-node batches, median ns/batch, scalar "
+                 "vs vector):\n"
+              << "    tree: "
+              << analysis::format_double(vec_tree_scalar_ns, 0) << " -> "
+              << analysis::format_double(vec_tree_vector_ns, 0) << " ns ("
+              << analysis::format_double(
+                     vec_tree_vector_ns > 0.0
+                         ? vec_tree_scalar_ns / vec_tree_vector_ns
+                         : 0.0,
+                     2)
+              << "x)\n"
+              << "    fifteen: "
+              << analysis::format_double(vec_fifteen_scalar_ns, 0) << " -> "
+              << analysis::format_double(vec_fifteen_vector_ns, 0) << " ns ("
+              << analysis::format_double(
+                     vec_fifteen_vector_ns > 0.0
+                         ? vec_fifteen_scalar_ns / vec_fifteen_vector_ns
+                         : 0.0,
+                     2)
+              << "x)\n\n";
+  }
+#else
+  std::cout << "vector backend: not compiled in (default build) — absence "
+               "held by lint.vector_backend_symbols\n\n";
+#endif
+
   // --- Substrate kernels: byte plane vs packed bit plane. -----------------
   const std::size_t kernel_lanes = 1 << 14;
-  std::uint64_t sink = 0;
   const std::vector<KernelSample> kernels =
       run_kernel_benchmarks(reps, kernel_lanes, sink);
   std::cout << "kernels (P = " << kernel_lanes
@@ -465,8 +641,12 @@ int main() {
   for (const KernelSample& k : kernels) {
     std::cout << "  " << k.name << ": "
               << analysis::format_double(k.scalar_ns, 0) << " -> "
-              << analysis::format_double(k.packed_ns, 0) << " ns ("
-              << analysis::format_double(k.speedup(), 1) << "x)\n";
+              << analysis::format_double(k.packed_ns, 0) << " ns ";
+    if (k.report_speedup) {
+      std::cout << "(" << analysis::format_double(k.speedup(), 1) << "x)\n";
+    } else {
+      std::cout << "(expand-dominated; parity expected)\n";
+    }
   }
   if (sink == 0xFFFFFFFFFFFFFFFFull) std::cout << "";  // keep `sink` live
 
@@ -514,14 +694,46 @@ int main() {
          << ", \"results_identical\": true";
   }
   json << "},\n"
+       << "  \"vector_backend\": {\"compiled_in\": "
+       << (vec::kCompiledIn ? "true" : "false");
+  if (vec::kCompiledIn) {
+    json << ", \"engine_scalar_wall_s\": "
+         << format_json_double(vec_scalar_wall)
+         << ", \"engine_vector_wall_s\": "
+         << format_json_double(vec_vector_wall) << ", \"engine_speedup\": "
+         << format_json_double(vec_vector_wall > 0.0
+                                   ? vec_scalar_wall / vec_vector_wall
+                                   : 0.0)
+         << ", \"results_identical\": true, \"batch_expand\": {"
+         << "\"tree\": {\"scalar_ns\": "
+         << format_json_double(vec_tree_scalar_ns) << ", \"vector_ns\": "
+         << format_json_double(vec_tree_vector_ns) << ", \"speedup\": "
+         << format_json_double(vec_tree_vector_ns > 0.0
+                                   ? vec_tree_scalar_ns / vec_tree_vector_ns
+                                   : 0.0)
+         << "}, \"fifteen\": {\"scalar_ns\": "
+         << format_json_double(vec_fifteen_scalar_ns) << ", \"vector_ns\": "
+         << format_json_double(vec_fifteen_vector_ns) << ", \"speedup\": "
+         << format_json_double(
+                vec_fifteen_vector_ns > 0.0
+                    ? vec_fifteen_scalar_ns / vec_fifteen_vector_ns
+                    : 0.0)
+         << "}}";
+  }
+  json << "},\n"
        << "  \"kernels\": {\n";
   for (std::size_t i = 0; i < kernels.size(); ++i) {
     const KernelSample& k = kernels[i];
     json << "    \"" << k.name << "\": {\"lanes\": " << kernel_lanes
-         << ", \"scalar_ns\": " << format_json_double(k.scalar_ns)
-         << ", \"bitplane_ns\": " << format_json_double(k.packed_ns)
-         << ", \"speedup\": " << format_json_double(k.speedup()) << "}"
-         << (i + 1 < kernels.size() ? "," : "") << "\n";
+         << ", \"" << k.scalar_key
+         << "\": " << format_json_double(k.scalar_ns) << ", \""
+         << k.packed_key << "\": " << format_json_double(k.packed_ns);
+    if (k.report_speedup) {
+      json << ", \"speedup\": " << format_json_double(k.speedup());
+    } else {
+      json << ", \"expand_dominated\": true";
+    }
+    json << "}" << (i + 1 < kernels.size() ? "," : "") << "\n";
   }
   json << "  }\n"
        << "}\n";

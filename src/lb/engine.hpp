@@ -64,8 +64,19 @@
 #include "search/work_stack.hpp"
 #include "simd/bitplane.hpp"
 #include "simd/machine.hpp"
+#ifdef SIMDTS_VECTOR_BACKEND
+#include "vec/expand.hpp"
+#endif
 
 namespace simdts::lb {
+
+/// Execution backend of the expansion cycle.  kScalar is the bit-exact
+/// reference: one problem_.expand() call per set bit.  kVector (available
+/// only when the library is built with SIMDTS_VECTOR_BACKEND) pops each
+/// word's active lanes into a struct-of-arrays batch and expands them with
+/// one vec::BatchExpander call — same tree, same goals, same metrics, by
+/// construction and by the oracle gate in tests/test_vector_backend.cpp.
+enum class ExecBackend : std::uint8_t { kScalar, kVector };
 
 template <search::TreeProblem P>
 class Engine {
@@ -111,6 +122,26 @@ class Engine {
     san_dead_.clear();
 #endif
   }
+
+  /// Selects the execution backend for subsequent runs.  The scalar backend
+  /// is always available; the vector backend requires the library to be
+  /// built with SIMDTS_VECTOR_BACKEND=ON and throws simdts::ConfigError
+  /// otherwise (requesting an absent backend is a configuration error, not
+  /// a silent fallback — a benchmark that silently ran scalar would report
+  /// fictitious speedups).
+  void set_backend(ExecBackend backend) {
+#ifndef SIMDTS_VECTOR_BACKEND
+    if (backend == ExecBackend::kVector) {
+      throw ConfigError(
+          "vector backend requested but SIMDTS_VECTOR_BACKEND is not "
+          "compiled in",
+          cfg_.name());
+    }
+#endif
+    backend_ = backend;
+  }
+
+  [[nodiscard]] ExecBackend backend() const noexcept { return backend_; }
 
   /// Watchdog: a nonzero budget bounds the expand cycles of each bounded DFS
   /// (each run_iteration / IDA* iteration); exceeding it throws
@@ -213,7 +244,15 @@ class Engine {
                            cycle_budget_);
       }
       const std::uint32_t working = counts_.nonempty;
+#ifdef SIMDTS_VECTOR_BACKEND
+      if (backend_ == ExecBackend::kVector) {
+        expand_cycle_vector(bound, stats);
+      } else {
+        expand_cycle(bound, stats);
+      }
+#else
       expand_cycle(bound, stats);
+#endif
       machine_.charge_expand_cycle(working, alive_);
       trigger.note_cycle(working);
       ++stats.expand_cycles;
@@ -336,6 +375,10 @@ class Engine {
     std::vector<Node> goal_nodes;
     std::vector<Node> children;  ///< flat staging buffer, cleared per word
     search::NextBound next_bound;
+#ifdef SIMDTS_VECTOR_BACKEND
+    std::vector<Node> batch_nodes;  ///< one word's popped non-goal nodes
+    std::vector<std::uint32_t> batch_counts;  ///< per-slot child counts
+#endif
   };
 
   [[nodiscard]] double initial_lb_cost() const {
@@ -452,8 +495,17 @@ class Engine {
       lane_scratch_[0].d_splittable = 0;
     }
 #endif
-    // Ordered reduction at the barrier: lane 0 first, then lane 1, ... —
-    // bit-identical for any lane count.
+    reduce_cycle_scratch(stats);
+#ifdef SIMDTS_SANITIZE
+    san_verify_cycle();
+#endif
+  }
+
+  /// Ordered reduction of the per-lane scratch at the cycle barrier: lane 0
+  /// first, then lane 1, ... — bit-identical for any lane count.  Shared by
+  /// both execution backends (the reduction is where the determinism
+  /// guarantee lives, so there is exactly one copy of it).
+  void reduce_cycle_scratch(IterationStats& stats) {
     std::int64_t d_nonempty = 0;
     std::int64_t d_splittable = 0;
     for (auto& ls : lane_scratch_) {
@@ -469,10 +521,145 @@ class Engine {
         static_cast<std::int64_t>(counts_.splittable) + d_splittable);
     counts_.empty = static_cast<std::uint32_t>(
         static_cast<std::int64_t>(counts_.empty) - d_nonempty);
+  }
+
+#ifdef SIMDTS_VECTOR_BACKEND
+  /// One lock-step expansion cycle on the vector backend.  Same word walk,
+  /// same flag/census discipline, same host-thread word partitioning as
+  /// expand_cycle() — but each word's active lanes are popped into a
+  /// struct-of-arrays batch and expanded by a single vec::BatchExpander
+  /// call instead of one problem_.expand() per set bit.
+  ///
+  /// Bit-exactness with the scalar cycle, piece by piece:
+  ///  - Goal lanes are detected at pop time in bit order and excluded from
+  ///    the batch, so goal_nodes_ order is unchanged.
+  ///  - Dead lanes never enter a batch: `active` masks them out word by
+  ///    word exactly as in the scalar walk (satisfying degraded mode's
+  ///    dead-lanes-never-expand invariant).
+  ///  - The batch expander's contract (search::expand_batch) is per-slot
+  ///    observational equivalence with scalar expand(), so each stack
+  ///    receives the same children in the same order.
+  ///  - The scatter pass replays the per-lane flag/census transitions in
+  ///    bit order, so every plane word and census delta is identical.
+  ///  - A batch never crosses a word, hence never a host-thread ownership
+  ///    boundary; the barrier reduction is the same reduce_cycle_scratch.
+  void expand_cycle_vector(search::Bound bound, IterationStats& stats) {
+    for (auto& ls : lane_scratch_) {
+      ls.d_nonempty = 0;
+      ls.d_splittable = 0;
+      ls.goals = 0;
+      ls.goal_nodes.clear();
+      ls.next_bound = search::NextBound{};
+      if (ls.batch_counts.size() < simd::BitPlane::kWordBits) {
+        ls.batch_counts.resize(simd::BitPlane::kWordBits);
+      }
+    }
+    constexpr std::size_t kWordBits = simd::BitPlane::kWordBits;
+    std::uint64_t* const idle_words = idle_flags_.words().data();
+    std::uint64_t* const busy_words = busy_flags_.words().data();
+    const std::uint64_t* const dead_words = dead_.words().data();
+    const std::size_t nwords = idle_flags_.word_count();
+    const std::uint64_t last_mask = idle_flags_.word_mask(nwords - 1);
+    simd::ThreadPool* pool = machine_.pool();
+    auto body = [&, bound](unsigned lane, std::size_t wbegin,
+                           std::size_t wend) {
+      LaneScratch& ls = lane_scratch_[lane];
+#ifdef SIMDTS_SANITIZE
+      const std::size_t claim_end =
+          san::mutation().shrink_word_claim && wend > wbegin ? wend - 1 : wend;
+      san::WordClaim claim(san_claims_, lane, wbegin, claim_end);
+#endif
+      for (std::size_t w = wbegin; w < wend; ++w) {
+        const std::uint64_t valid =
+            (w + 1 == nwords) ? last_mask : ~std::uint64_t{0};
+        std::uint64_t idle_w = idle_words[w];
+        std::uint64_t busy_w = busy_words[w];
+        std::uint64_t not_dead = ~dead_words[w];
+#ifdef SIMDTS_SANITIZE
+        if (san::mutation().expand_dead_lane) not_dead = ~std::uint64_t{0};
+#endif
+        const std::uint64_t active = ~idle_w & not_dead & valid;
+        if (active == 0) continue;
+        ls.children.clear();
+        ls.batch_nodes.clear();
+        const std::size_t base = w * kWordBits;
+        // Pop pass: gather the word's non-goal nodes into the batch, in bit
+        // order; goals are recorded immediately (bit order = goal order).
+        std::uint64_t goal_bits = 0;
+        std::uint64_t m = active;
+        while (m != 0) {
+          const auto b = static_cast<unsigned>(std::countr_zero(m));
+          m &= m - 1;
+#ifdef SIMDTS_SANITIZE
+          san_dead_.check_alive(base + b, "expand");
+#endif
+          Node n = stacks_[base + b].pop();
+          if (problem_.is_goal(n)) {
+            ++ls.goals;
+            ls.goal_nodes.push_back(std::move(n));
+            goal_bits |= std::uint64_t{1} << b;
+          } else {
+            ls.batch_nodes.push_back(std::move(n));
+          }
+        }
+        if (!ls.batch_nodes.empty()) {
+          vec::BatchExpander<P>::expand(
+              problem_, ls.batch_nodes.data(),
+              static_cast<std::uint32_t>(ls.batch_nodes.size()), bound,
+              ls.children, ls.batch_counts.data(), ls.next_bound);
+        }
+        // Scatter pass: append each slot's children run to its stack and
+        // replay the scalar flag/census transitions in bit order.
+        std::size_t off = 0;
+        std::uint32_t slot = 0;
+        m = active;
+        while (m != 0) {
+          const auto b = static_cast<unsigned>(std::countr_zero(m));
+          m &= m - 1;
+          auto& st = stacks_[base + b];
+          if ((goal_bits >> b & 1) == 0) {
+            const std::size_t added = ls.batch_counts[slot++];
+            if (added != 0) st.append(ls.children.data() + off, added);
+            off += added;
+          }
+          const std::uint64_t bit = std::uint64_t{1} << b;
+          const bool was_split = (busy_w & bit) != 0;
+          if (st.empty()) {
+            idle_w |= bit;
+            busy_w &= ~bit;
+            --ls.d_nonempty;
+            if (was_split) --ls.d_splittable;
+          } else if (st.splittable() != was_split) {
+            ls.d_splittable += was_split ? -1 : 1;
+            busy_w ^= bit;
+          }
+        }
+#ifdef SIMDTS_SANITIZE
+        san::check_word_write(san_claims_, w);
+#endif
+        idle_words[w] = idle_w;
+        busy_words[w] = busy_w;
+      }
+    };
+    if (pool != nullptr && pool->size() > 1) {
+      pool->parallel_for_lanes(nwords, body);
+    } else {
+      body(0, 0, nwords);
+    }
+#ifdef SIMDTS_SANITIZE
+    if (san::mutation().corrupt_tail && last_mask != ~std::uint64_t{0}) {
+      idle_words[nwords - 1] |= ~last_mask & (last_mask + 1);
+    }
+    if (san::mutation().drop_census_delta && !lane_scratch_.empty()) {
+      lane_scratch_[0].d_splittable = 0;
+    }
+#endif
+    reduce_cycle_scratch(stats);
 #ifdef SIMDTS_SANITIZE
     san_verify_cycle();
 #endif
   }
+#endif  // SIMDTS_VECTOR_BACKEND
 
 #ifdef SIMDTS_SANITIZE
   /// SimdSan per-cycle sweep: the packed planes keep their zero tails, and
@@ -806,6 +993,7 @@ class Engine {
   const P& problem_;
   simd::Machine& machine_;
   SchemeConfig cfg_;
+  ExecBackend backend_ = ExecBackend::kScalar;
   Matcher matcher_;
   std::vector<search::WorkStack<Node>> stacks_;
   simd::BitPlane busy_flags_;   ///< splittable, maintained in place

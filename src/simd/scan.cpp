@@ -1,6 +1,32 @@
 #include "simd/scan.hpp"
 
+#include <array>
+#include <bit>
+
 namespace simdts::simd {
+
+namespace {
+
+/// kBytePrefix[b] packs, one byte per lane, the exclusive prefix popcounts
+/// of the 8 bits of b: lane i holds popcount(b & ((1 << i) - 1)).  256 * 8
+/// bytes, built at compile time.
+constexpr std::array<std::uint64_t, 256> make_byte_prefix_table() {
+  std::array<std::uint64_t, 256> table{};
+  for (unsigned b = 0; b < 256; ++b) {
+    std::uint64_t packed = 0;
+    unsigned run = 0;
+    for (unsigned i = 0; i < 8; ++i) {
+      packed |= static_cast<std::uint64_t>(run) << (8 * i);
+      run += (b >> i) & 1U;
+    }
+    table[b] = packed;
+  }
+  return table;
+}
+
+constexpr std::array<std::uint64_t, 256> kBytePrefix = make_byte_prefix_table();
+
+}  // namespace
 
 std::uint32_t enumerate(std::span<const std::uint8_t> flags,
                         std::span<std::uint32_t> ranks) {
@@ -22,18 +48,42 @@ std::uint32_t count_set(std::span<const std::uint8_t> flags) {
 }
 
 std::uint32_t enumerate(const BitPlane& plane, std::span<std::uint32_t> ranks) {
+  // Branch-free: every lane gets its exclusive prefix count, set or not.
+  // The earlier formulation iterated only the set bits (countr_zero +
+  // clear-lowest), but at the occupancies the engine actually runs (tens of
+  // percent) the data-dependent loop is one mispredict per set bit; writing
+  // all 64 lanes from a byte-wise prefix-popcount table is straight-line
+  // code the compiler turns into widening SIMD stores, and it is what made
+  // the packed kernel clearly beat the byte kernel instead of merely edging
+  // it (see bench/micro_substrate.cpp BM_Enumerate*).
   const std::span<const std::uint64_t> ws = plane.words();
+  const std::size_t n = plane.size();
+  const std::size_t full = n / BitPlane::kWordBits;
   std::uint32_t before = 0;  // exclusive prefix popcount over whole words
-  for (std::size_t w = 0; w < ws.size(); ++w) {
-    std::uint64_t m = ws[w];
-    const auto word_count = static_cast<std::uint32_t>(std::popcount(m));
-    std::uint32_t rank = before;
-    while (m != 0) {
-      const auto b = static_cast<unsigned>(std::countr_zero(m));
-      ranks[w * BitPlane::kWordBits + b] = rank++;
-      m &= m - 1;
+  for (std::size_t w = 0; w < full; ++w) {
+    const std::uint64_t m = ws[w];
+    std::uint32_t* out = ranks.data() + w * BitPlane::kWordBits;
+    std::uint32_t base = before;
+    for (unsigned k = 0; k < 8; ++k) {
+      const auto byte = static_cast<std::uint8_t>(m >> (8 * k));
+      const std::uint64_t pre = kBytePrefix[byte];
+      for (unsigned i = 0; i < 8; ++i) {
+        out[k * 8 + i] =
+            base + static_cast<std::uint32_t>((pre >> (8 * i)) & 0xFF);
+      }
+      base += static_cast<std::uint32_t>(std::popcount(unsigned{byte}));
     }
-    before += word_count;
+    before = base;
+  }
+  // Tail word (tail bits above size() are kept zero by BitPlane).
+  if (full < ws.size()) {
+    const std::uint64_t m = ws[full];
+    std::uint32_t rank = before;
+    for (std::size_t b = 0; b < n - full * BitPlane::kWordBits; ++b) {
+      ranks[full * BitPlane::kWordBits + b] = rank;
+      rank += static_cast<std::uint32_t>((m >> b) & 1U);
+    }
+    before = rank;
   }
   return before;
 }

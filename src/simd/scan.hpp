@@ -88,11 +88,16 @@ std::uint32_t enumerate(std::span<const std::uint8_t> flags,
 /// Count of set flags (global-or / population count over the PE array).
 std::uint32_t count_set(std::span<const std::uint8_t> flags);
 
-/// Packed-plane enumerate: identical contract to the byte-plane overload,
-/// but the ranks are sum-scans of word-level popcount partial sums — each
-/// 64-lane word contributes one popcount to the running prefix, and only set
-/// lanes are visited (std::countr_zero iteration).  O(P/64 + #set) instead
-/// of O(P).
+/// Packed-plane enumerate.  Stronger write contract than the byte-plane
+/// overload: ranks[i] = number of set lanes in [0, i) is written for EVERY
+/// lane i < size(), set or not (an unset lane's value is where it would
+/// slot in — a full exclusive sum-scan of the plane).  The return value and
+/// the ranks at set lanes agree with the byte overload; the byte overload's
+/// "unset positions untouched" guarantee does not carry over.  Branch-free:
+/// each 64-lane word is expanded through a byte-wise prefix-popcount table
+/// (8 unconditional widening stores per byte), so the cost is independent
+/// of occupancy and free of the per-set-bit mispredicts a countr_zero walk
+/// pays at engine-typical densities.
 std::uint32_t enumerate(const BitPlane& plane, std::span<std::uint32_t> ranks);
 
 /// Packed-plane census (word-level popcount reduction).

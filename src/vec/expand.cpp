@@ -1,0 +1,325 @@
+// SIMD batch-expansion kernels (compiled only under SIMDTS_VECTOR_BACKEND).
+//
+// Both kernels follow the same two-phase shape: a *candidate phase* that is
+// pure branch-free lane arithmetic over the SoA pools — every potential
+// child of every batched node is computed unconditionally into slot-major
+// candidate arrays (`cand[slot][lane]`), exactly like the scalar domains'
+// predicated staging writes, just transposed — and a scalar *emission phase*
+// that walks the candidates per node in slot order and advances a write
+// cursor by the existence predicate.  The candidate phase carries all the
+// work (hashing, board arithmetic, heuristic deltas, bound tests) and
+// vectorizes cleanly because no lane ever branches; the emission phase is
+// the same predicated-cursor copy the scalar expand() already does.
+//
+// Bit-exactness with the scalar reference:
+//  - synthetic::Tree's only floating-point step, `normalized(h) < p`, is
+//    replaced by the integer compare `(h >> 11) < T` with
+//    T = min(ceil(p * 2^53), 2^53).  The two are equivalent: normalized(h)
+//    = (h >> 11) * 2^-53, and scaling both sides of the compare by the
+//    power of two 2^53 is exact in double precision, (h >> 11) <= 2^53 - 1
+//    is exactly representable, and t < x over the reals iff t < ceil(x) for
+//    integer t.  The clamp to 2^53 only widens the always-true region
+//    (t never reaches 2^53) and keeps T in signed-positive range for the
+//    AVX2 compare (which is signed-only).
+//  - The 15-puzzle kernel recomputes tile distances from the coordinate
+//    formula |row(pos) - row(t)| + |col(pos) - col(t)|, which equals the
+//    scalar path's table lookup for every real tile (the goal cell of tile
+//    t is cell t; the moved tile is never the blank on a legal move).
+//  - NextBound is a pure min, so observing the per-batch minimum pruned f
+//    once equals observing every pruned f individually.
+//
+// The oracle gate in tests/test_vector_backend.cpp checks all of this end
+// to end against the scalar engine on the fig4a grid.
+#ifdef SIMDTS_VECTOR_BACKEND
+
+#include "vec/expand.hpp"
+
+#include <cmath>
+#include <cstdlib>
+
+#include "vec/soa.hpp"
+
+#if defined(__AVX2__)
+#include <immintrin.h>
+#endif
+
+namespace simdts::vec {
+
+namespace {
+
+/// Child-slot cap of the specialized tree kernel; trees bushier than this
+/// (none of the calibrated workloads come close) take the scalar fallback.
+constexpr std::uint32_t kMaxTreeSlots = 8;
+
+/// Salt base of synthetic::Tree's child hash (tree.hpp uses
+/// hash2(id, 0x4348494C44 + slot)).
+constexpr std::uint64_t kChildSalt = 0x4348494C44ULL;
+
+#if defined(__AVX2__)
+
+/// 64x64->64 multiply for 4 lanes: AVX2 has no vpmullq (that is AVX-512DQ),
+/// so synthesize it from 32x32->64 partial products.
+inline __m256i mul64(__m256i a, __m256i b) {
+  const __m256i ll = _mm256_mul_epu32(a, b);
+  const __m256i lh = _mm256_mul_epu32(a, _mm256_srli_epi64(b, 32));
+  const __m256i hl = _mm256_mul_epu32(_mm256_srli_epi64(a, 32), b);
+  const __m256i cross = _mm256_add_epi64(lh, hl);
+  return _mm256_add_epi64(ll, _mm256_slli_epi64(cross, 32));
+}
+
+/// 4-lane Tree::hash2(a[i], b) for a broadcast second argument.
+inline __m256i hash2x4(__m256i a, std::uint64_t b) {
+  __m256i x = mul64(
+      a, _mm256_set1_epi64x(static_cast<long long>(0x9E3779B97F4A7C15ULL)));
+  x = _mm256_add_epi64(
+      x, _mm256_set1_epi64x(static_cast<long long>(b + 0x2545F4914F6CDD1DULL)));
+  x = _mm256_xor_si256(x, _mm256_srli_epi64(x, 30));
+  x = mul64(x, _mm256_set1_epi64x(static_cast<long long>(0xBF58476D1CE4E5B9ULL)));
+  x = _mm256_xor_si256(x, _mm256_srli_epi64(x, 27));
+  x = mul64(x, _mm256_set1_epi64x(static_cast<long long>(0x94D049BB133111EBULL)));
+  return _mm256_xor_si256(x, _mm256_srli_epi64(x, 31));
+}
+
+#endif  // __AVX2__
+
+/// |x - y| for u64 lanes via the sign-propagation trick — pure bit ops, no
+/// compare/branch, so the vectorizer never bails on it.
+inline std::uint64_t absdiff(std::uint64_t x, std::uint64_t y) {
+  const std::uint64_t d = x - y;
+  const std::uint64_t m = std::uint64_t{0} - (d >> 63);  // 0 or all-ones
+  return (d ^ m) - m;
+}
+
+/// Candidate phase for one 15-puzzle move direction, all lanes at once.
+/// kMove follows puzzle::Move: 0 up, 1 down, 2 left, 3 right (the blank
+/// moves).  Illegal lanes compute a self-move (shift amounts stay in range,
+/// no UB) whose candidate is discarded by take = 0.
+///
+/// Every value in the loop is u64 — legality masks, coordinates, f-values —
+/// because GCC's vectorizer rejects loops mixing the 64-bit board words
+/// with narrower lanes ("no vectype"), which silently costs the whole
+/// kernel.  All-u64, the loop compiles to 4-wide AVX2 (variable nibble
+/// shifts are vpsrlvq/vpsllvq).  Selects are explicit 0/1-mask arithmetic
+/// (never multiplies: AVX2 has no vpmullq).  All quantities are small and
+/// non-negative (g, h < 255; hh >= 0 since h includes the moved tile's
+/// d_from), so u64 and i32 arithmetic agree exactly.
+template <int kMove>
+void fifteen_candidates(const FifteenBatchSoA& s, std::uint32_t padded,
+                        search::Bound bound, std::uint64_t* cand_board,
+                        std::uint64_t* cand_blank, std::uint64_t* cand_h,
+                        std::uint64_t* take, std::uint64_t* pruned_min) {
+  const auto bound64 = static_cast<std::uint64_t>(bound);
+  constexpr auto kUnb64 = static_cast<std::uint64_t>(search::kUnbounded);
+#pragma omp simd
+  for (std::uint32_t j = 0; j < padded; ++j) {
+    const std::uint64_t b = s.blank[j];
+    const std::uint64_t board = s.board[j];
+    std::uint64_t legal;  // 0 or 1
+    std::uint64_t tsafe;  // legal ? move target : b (self-move)
+    if constexpr (kMove == 0) {          // up: row > 0
+      legal = static_cast<std::uint64_t>(b >= puzzle::kSide);
+      tsafe = b - (legal << 2);
+    } else if constexpr (kMove == 1) {   // down: row < 3
+      legal = static_cast<std::uint64_t>(b < 3 * puzzle::kSide);
+      tsafe = b + (legal << 2);
+    } else if constexpr (kMove == 2) {   // left: col > 0
+      legal = static_cast<std::uint64_t>((b & 3) != 0);
+      tsafe = b - legal;
+    } else {                             // right: col < 3
+      legal = static_cast<std::uint64_t>((b & 3) != 3);
+      tsafe = b + legal;
+    }
+    const std::uint64_t from_sh = tsafe << 2;
+    const std::uint64_t tile = (board >> from_sh) & 0xF;
+    // Clear the source nibble by XOR-ing the tile back out (the blank's
+    // destination nibble is already 0): `board & ~(0xF << sh)` computes the
+    // same value, but GCC will not vectorize a constant shifted by a
+    // variable amount (`0xFULL << sh` reports "no vectype"), while
+    // variable << variable lowers to vpsllvq.
+    const std::uint64_t nb = (board ^ (tile << from_sh)) | (tile << (b << 2));
+    // Manhattan delta of the slid tile: goal cell of tile t is cell t.
+    const std::uint64_t trow = tile >> 2;
+    const std::uint64_t tcol = tile & 3;
+    const std::uint64_t d_from =
+        absdiff(tsafe >> 2, trow) + absdiff(tsafe & 3, tcol);
+    const std::uint64_t d_to = absdiff(b >> 2, trow) + absdiff(b & 3, tcol);
+    const std::uint64_t hh = s.h[j] + d_to - d_from;
+    const std::uint64_t f = s.g[j] + 1 + hh;
+    const std::uint64_t ok =
+        legal & static_cast<std::uint64_t>(s.skip[j] != kMove);
+    const std::uint64_t within = static_cast<std::uint64_t>(f <= bound64);
+    take[j] = ok & within;
+    // Pruned f (mask select): candidates cut by the bound feed NextBound.
+    const std::uint64_t pmask = std::uint64_t{0} - (ok & (within ^ 1));
+    const std::uint64_t pf = (f & pmask) | (kUnb64 & ~pmask);
+    const std::uint64_t pm = pruned_min[j];
+    const std::uint64_t lmask =
+        std::uint64_t{0} - static_cast<std::uint64_t>(pf < pm);
+    pruned_min[j] = (pf & lmask) | (pm & ~lmask);
+    cand_board[j] = nb;
+    cand_blank[j] = tsafe;
+    cand_h[j] = hh;
+  }
+}
+
+}  // namespace
+
+void expand_batch_tree(const synthetic::Tree& tree,
+                       const synthetic::Tree::Node* nodes, std::uint32_t count,
+                       search::Bound bound,
+                       std::vector<synthetic::Tree::Node>& out,
+                       std::uint32_t* child_counts, search::NextBound& next) {
+  using Node = synthetic::Tree::Node;
+  const synthetic::Params& prm = tree.params();
+  if (count == 0) return;
+  if (prm.max_children > kMaxTreeSlots) {
+    search::expand_batch_fallback(tree, nodes, count, bound, out, child_counts,
+                                  next);
+    return;
+  }
+
+  TreeBatchSoA soa;
+  soa.load(nodes, count);
+  const std::uint32_t padded = padded_count(count);
+
+  // Per-lane existence thresholds: child slot i of lane j exists iff
+  // (hash >> 11) < thresh[j].  Leaf lanes (depth >= max_depth) get 0, which
+  // matches the scalar early return.
+  alignas(32) std::uint64_t thresh[kBatchLanes];
+  for (std::uint32_t j = 0; j < padded; ++j) {
+    const double p =
+        prm.fertility *
+        (0.5 + static_cast<double>(soa.climate[j]) * 0x1.0p-16);
+    const double x = std::ceil(p * 0x1.0p53);
+    std::uint64_t t = 0;
+    if (soa.depth[j] < prm.max_depth && x > 0.0) {
+      t = x >= 0x1.0p53 ? (std::uint64_t{1} << 53)
+                        : static_cast<std::uint64_t>(x);
+    }
+    thresh[j] = t;
+  }
+
+  // Candidate phase: slot-major hash, existence, and climate-drift arrays.
+  alignas(32) std::uint64_t cand_hash[kMaxTreeSlots][kBatchLanes];
+  alignas(32) std::uint16_t cand_climate[kMaxTreeSlots][kBatchLanes];
+  alignas(32) std::uint8_t exists[kMaxTreeSlots][kBatchLanes];
+  for (std::uint32_t i = 0; i < prm.max_children; ++i) {
+    const std::uint64_t salt = kChildSalt + i;
+#if defined(__AVX2__)
+    for (std::uint32_t j = 0; j < padded; j += 4) {
+      const __m256i id = _mm256_load_si256(
+          reinterpret_cast<const __m256i*>(&soa.id[j]));
+      _mm256_store_si256(reinterpret_cast<__m256i*>(&cand_hash[i][j]),
+                         hash2x4(id, salt));
+    }
+#else
+#pragma omp simd
+    for (std::uint32_t j = 0; j < padded; ++j) {
+      cand_hash[i][j] = synthetic::Tree::hash2(soa.id[j], salt);
+    }
+#endif
+#pragma omp simd
+    for (std::uint32_t j = 0; j < padded; ++j) {
+      const std::uint64_t h = cand_hash[i][j];
+      exists[i][j] = static_cast<std::uint8_t>((h >> 11) < thresh[j]);
+      // Inline drift_climate (tree.hpp): a clamped random-walk step.
+      const auto delta =
+          static_cast<std::int32_t>((h >> 40) % 8192) - 4096;
+      std::int32_t c = static_cast<std::int32_t>(soa.climate[j]) + delta;
+      c = c < 0 ? 0 : c;
+      c = c > 0xFFFF ? 0xFFFF : c;
+      cand_climate[i][j] = static_cast<std::uint16_t>(c);
+    }
+  }
+
+  // Emission: per node in batch order, per slot in slot order, cursor
+  // advanced by the existence predicate — the scalar staging loop exactly.
+  const std::size_t base = out.size();
+  out.resize(base + static_cast<std::size_t>(count) * prm.max_children);
+  Node* const dst = out.data() + base;
+  std::size_t k = 0;
+  for (std::uint32_t j = 0; j < count; ++j) {
+    const std::size_t start = k;
+    const auto depth = static_cast<std::uint16_t>(soa.depth[j] + 1);
+    for (std::uint32_t i = 0; i < prm.max_children; ++i) {
+      dst[k] = Node{cand_hash[i][j], depth, cand_climate[i][j]};
+      k += exists[i][j];
+    }
+    child_counts[j] = static_cast<std::uint32_t>(k - start);
+  }
+  out.resize(base + k);
+  // Exhaustive domain: the bound is ignored and next never observed, as in
+  // the scalar expand().
+  static_cast<void>(next);
+}
+
+void expand_batch_fifteen(const puzzle::FifteenPuzzle& p,
+                          const puzzle::FifteenPuzzle::Node* nodes,
+                          std::uint32_t count, search::Bound bound,
+                          std::vector<puzzle::FifteenPuzzle::Node>& out,
+                          std::uint32_t* child_counts,
+                          search::NextBound& next) {
+  using Node = puzzle::FifteenPuzzle::Node;
+  if (count == 0) return;
+  if (p.heuristic() != puzzle::Heuristic::kManhattan) {
+    // Linear conflict re-evaluates whole boards; keep the scalar reference.
+    search::expand_batch_fallback(p, nodes, count, bound, out, child_counts,
+                                  next);
+    return;
+  }
+
+  FifteenBatchSoA soa;
+  soa.load(nodes, count);
+  const std::uint32_t padded = padded_count(count);
+
+  alignas(32) std::uint64_t cand_board[4][kBatchLanes];
+  alignas(32) std::uint64_t cand_blank[4][kBatchLanes];
+  alignas(32) std::uint64_t cand_h[4][kBatchLanes];
+  alignas(32) std::uint64_t take[4][kBatchLanes];
+  alignas(32) std::uint64_t pruned_min[kBatchLanes];
+  for (std::uint32_t j = 0; j < padded; ++j) {
+    pruned_min[j] = static_cast<std::uint64_t>(search::kUnbounded);
+  }
+
+  fifteen_candidates<0>(soa, padded, bound, cand_board[0], cand_blank[0],
+                        cand_h[0], take[0], pruned_min);
+  fifteen_candidates<1>(soa, padded, bound, cand_board[1], cand_blank[1],
+                        cand_h[1], take[1], pruned_min);
+  fifteen_candidates<2>(soa, padded, bound, cand_board[2], cand_blank[2],
+                        cand_h[2], take[2], pruned_min);
+  fifteen_candidates<3>(soa, padded, bound, cand_board[3], cand_blank[3],
+                        cand_h[3], take[3], pruned_min);
+
+  // NextBound is a min: one observation of the batch minimum equals the
+  // scalar path's per-candidate observations.  Pad lanes are excluded.
+  std::uint64_t m = static_cast<std::uint64_t>(search::kUnbounded);
+  for (std::uint32_t j = 0; j < count; ++j) {
+    if (pruned_min[j] < m) m = pruned_min[j];
+  }
+  next.observe(static_cast<search::Bound>(m));
+
+  const std::size_t base = out.size();
+  out.resize(base + static_cast<std::size_t>(count) * 4);
+  Node* const dst = out.data() + base;
+  std::size_t k = 0;
+  for (std::uint32_t j = 0; j < count; ++j) {
+    const std::size_t start = k;
+    const auto g1 = static_cast<std::uint8_t>(soa.g[j] + 1);
+    for (std::uint32_t mv = 0; mv < 4; ++mv) {
+      Node child{};
+      child.board = cand_board[mv][j];
+      child.blank = static_cast<std::uint8_t>(cand_blank[mv][j]);
+      child.g = g1;
+      child.h = static_cast<std::uint8_t>(cand_h[mv][j]);
+      child.last = static_cast<std::uint8_t>(mv);
+      dst[k] = child;
+      k += take[mv][j];
+    }
+    child_counts[j] = static_cast<std::uint32_t>(k - start);
+  }
+  out.resize(base + k);
+}
+
+}  // namespace simdts::vec
+
+#endif  // SIMDTS_VECTOR_BACKEND

@@ -1,0 +1,103 @@
+// Batch-expansion dispatch for the vectorized execution backend.
+//
+// BatchExpander<P>::expand() is what the engine's vector execution mode
+// calls with the up-to-64 nodes popped from one flag word.  The primary
+// template routes through search::expand_batch — a problem's own
+// expand_batch() member if it has one, else the scalar per-node fallback —
+// so *any* TreeProblem works under the vector backend; domains with a real
+// SIMD kernel (synthetic::Tree and puzzle::FifteenPuzzle, below) specialize
+// it to the kernels in vec/expand.cpp.
+//
+// The kernel definitions are compiled only under SIMDTS_VECTOR_BACKEND (the
+// TU is empty otherwise), which keeps the backend's absence provable at the
+// symbol level: with the option OFF, no simdts::vec symbol may appear in
+// libsimdts.a (the lint.vector_backend_symbols ctest runs nm to enforce it,
+// mirroring SimdSan's zero-cost gate).
+//
+// Contract (inherited from search::expand_batch and enforced end-to-end by
+// the oracle gate in tests/test_vector_backend.cpp): identical children, in
+// identical per-slot order, and an identical NextBound outcome as `count`
+// scalar expand() calls.  The kernels keep that bit-exact by doing the same
+// integer arithmetic as the scalar domains — only the *schedule* changes.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "puzzle/fifteen.hpp"
+#include "search/problem.hpp"
+#include "synthetic/tree.hpp"
+
+namespace simdts::vec {
+
+/// True when the library was built with -DSIMDTS_VECTOR_BACKEND=ON.
+/// Available in both build flavors so harnesses can report which binary
+/// they measured (constexpr, so it leaves no simdts::vec symbol behind in
+/// a backend-off build — the nm gate stays clean).
+#ifdef SIMDTS_VECTOR_BACKEND
+inline constexpr bool kCompiledIn = true;
+#else
+inline constexpr bool kCompiledIn = false;
+#endif
+
+/// Generic batch expander: scalar semantics via search::expand_batch.
+template <search::TreeProblem P>
+struct BatchExpander {
+  /// True when a real SIMD kernel backs this problem (reported in the
+  /// perf harness so speedups are attributed honestly).
+  static constexpr bool kVectorized = false;
+
+  static void expand(const P& p, const typename P::Node* nodes,
+                     std::uint32_t count, search::Bound bound,
+                     std::vector<typename P::Node>& out,
+                     std::uint32_t* child_counts, search::NextBound& next) {
+    search::expand_batch(p, nodes, count, bound, out, child_counts, next);
+  }
+};
+
+#ifdef SIMDTS_VECTOR_BACKEND
+
+/// SIMD batch kernel for synthetic::Tree (vec/expand.cpp).
+void expand_batch_tree(const synthetic::Tree& tree,
+                       const synthetic::Tree::Node* nodes, std::uint32_t count,
+                       search::Bound bound,
+                       std::vector<synthetic::Tree::Node>& out,
+                       std::uint32_t* child_counts, search::NextBound& next);
+
+/// SIMD batch kernel for puzzle::FifteenPuzzle (vec/expand.cpp).
+void expand_batch_fifteen(const puzzle::FifteenPuzzle& p,
+                          const puzzle::FifteenPuzzle::Node* nodes,
+                          std::uint32_t count, search::Bound bound,
+                          std::vector<puzzle::FifteenPuzzle::Node>& out,
+                          std::uint32_t* child_counts,
+                          search::NextBound& next);
+
+template <>
+struct BatchExpander<synthetic::Tree> {
+  static constexpr bool kVectorized = true;
+
+  static void expand(const synthetic::Tree& p,
+                     const synthetic::Tree::Node* nodes, std::uint32_t count,
+                     search::Bound bound,
+                     std::vector<synthetic::Tree::Node>& out,
+                     std::uint32_t* child_counts, search::NextBound& next) {
+    expand_batch_tree(p, nodes, count, bound, out, child_counts, next);
+  }
+};
+
+template <>
+struct BatchExpander<puzzle::FifteenPuzzle> {
+  static constexpr bool kVectorized = true;
+
+  static void expand(const puzzle::FifteenPuzzle& p,
+                     const puzzle::FifteenPuzzle::Node* nodes,
+                     std::uint32_t count, search::Bound bound,
+                     std::vector<puzzle::FifteenPuzzle::Node>& out,
+                     std::uint32_t* child_counts, search::NextBound& next) {
+    expand_batch_fifteen(p, nodes, count, bound, out, child_counts, next);
+  }
+};
+
+#endif  // SIMDTS_VECTOR_BACKEND
+
+}  // namespace simdts::vec

@@ -1,0 +1,105 @@
+// Struct-of-arrays staging pools for the vectorized execution backend.
+//
+// The scalar engine's hot loop is one `problem_.expand()` call per set bit —
+// an array-of-structs walk whose per-node control flow defeats
+// auto-vectorization.  The vector backend instead gathers the nodes popped
+// from one 64-lane word into these SoA pools (one parallel array per node
+// field, padded to the vector width), runs a branch-free batch kernel over
+// the arrays, and scatters the children back per lane.  64 lanes is the
+// natural batch size: it matches the BitPlane word the engine already walks,
+// so a batch never crosses a host-thread ownership boundary.
+//
+// Layout (one cache line column per field, lanes grow rightward):
+//
+//   TreeBatchSoA                   FifteenBatchSoA
+//   id      [u64 x 64]             board  [u64 x 64]   (packed nibbles)
+//   depth   [u16 x 64]             blank  [u64 x 64]
+//   climate [u16 x 64]             g / h  [u64 x 64]
+//                                  skip   [u64 x 64]   (inverse of last)
+//
+// Everything here is fixed-size and lives inside the engine's per-lane
+// scratch, so steady-state cycles allocate nothing.  The pools are plain
+// aggregates — the kernels in vec/expand.cpp index them directly with
+// `#pragma omp simd` loops and AVX2 intrinsics.
+#pragma once
+
+#include <cstdint>
+
+#include "puzzle/board.hpp"
+#include "puzzle/fifteen.hpp"
+#include "synthetic/tree.hpp"
+
+namespace simdts::vec {
+
+/// Batch width: one BitPlane word of lanes.  Kernels may read (not write
+/// through) the padded tail, so every array is sized to the full width and
+/// loaders replicate the last real node into the pad lanes.
+inline constexpr std::uint32_t kBatchLanes = 64;
+
+/// Vector width the pad rounds up to (covers AVX2's 4x64-bit lanes).
+inline constexpr std::uint32_t kPadLanes = 4;
+
+/// Count rounded up so vector loops can run full-width without a scalar
+/// remainder; pad lanes hold copies of a real node and their results are
+/// never emitted.
+[[nodiscard]] constexpr std::uint32_t padded_count(std::uint32_t count) {
+  return (count + (kPadLanes - 1)) & ~(kPadLanes - 1);
+}
+
+/// SoA pool for a batch of synthetic::Tree nodes.
+struct TreeBatchSoA {
+  alignas(32) std::uint64_t id[kBatchLanes];
+  alignas(32) std::uint16_t depth[kBatchLanes];
+  alignas(32) std::uint16_t climate[kBatchLanes];
+
+  /// Loads `count` nodes and replicates the last one into the pad lanes.
+  void load(const synthetic::Tree::Node* nodes, std::uint32_t count) {
+    for (std::uint32_t j = 0; j < count; ++j) {
+      id[j] = nodes[j].id;
+      depth[j] = nodes[j].depth;
+      climate[j] = nodes[j].climate;
+    }
+    for (std::uint32_t j = count; j < padded_count(count); ++j) {
+      id[j] = id[count - 1];
+      depth[j] = depth[count - 1];
+      climate[j] = climate[count - 1];
+    }
+  }
+};
+
+/// SoA pool for a batch of 15-puzzle nodes.  The packed nibble boards stay
+/// packed (the move kernels are shift/mask arithmetic on the u64 directly);
+/// the byte fields widen all the way to u64 so every lane of the candidate
+/// loop is the same width — GCC's vectorizer refuses loops that mix 64-bit
+/// board words with narrower metadata ("no vectype"), and a type-homogeneous
+/// u64 loop compiles to clean 4-wide AVX2 (vpsrlvq/vpsllvq for the nibble
+/// shifts).
+struct FifteenBatchSoA {
+  alignas(32) std::uint64_t board[kBatchLanes];
+  alignas(32) std::uint64_t blank[kBatchLanes];
+  alignas(32) std::uint64_t g[kBatchLanes];
+  alignas(32) std::uint64_t h[kBatchLanes];
+  alignas(32) std::uint64_t skip[kBatchLanes];  ///< inverse(last), kNoMove if none
+
+  void load(const puzzle::FifteenPuzzle::Node* nodes, std::uint32_t count) {
+    for (std::uint32_t j = 0; j < count; ++j) {
+      board[j] = nodes[j].board;
+      blank[j] = nodes[j].blank;
+      g[j] = nodes[j].g;
+      h[j] = nodes[j].h;
+      skip[j] = nodes[j].last == puzzle::kNoMove
+                    ? puzzle::kNoMove
+                    : static_cast<std::uint64_t>(puzzle::inverse(
+                          static_cast<puzzle::Move>(nodes[j].last)));
+    }
+    for (std::uint32_t j = count; j < padded_count(count); ++j) {
+      board[j] = board[count - 1];
+      blank[j] = blank[count - 1];
+      g[j] = g[count - 1];
+      h[j] = h[count - 1];
+      skip[j] = skip[count - 1];
+    }
+  }
+};
+
+}  // namespace simdts::vec

@@ -84,6 +84,10 @@ TEST(BitPlane, CensusMatchesScalarReference) {
 }
 
 TEST(BitPlane, EnumerateMatchesScalarReference) {
+  // The packed overload's contract is a full exclusive sum-scan: every lane
+  // gets its prefix count, set or not (the byte overload leaves unset lanes
+  // untouched, so the two are compared at set lanes and the packed result
+  // is additionally checked against the scan at every lane).
   for (const std::size_t n : kSizes) {
     const auto bytes = random_bytes(n, 11u * static_cast<std::uint32_t>(n),
                                     40);
@@ -93,7 +97,14 @@ TEST(BitPlane, EnumerateMatchesScalarReference) {
     const std::uint32_t want_total = enumerate(bytes, want);
     const std::uint32_t got_total = enumerate(plane, got);
     EXPECT_EQ(got_total, want_total) << "n=" << n;
-    EXPECT_EQ(got, want) << "n=" << n;  // untouched lanes keep the sentinel
+    std::uint32_t prefix = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(got[i], prefix) << "n=" << n << " i=" << i;
+      if (bytes[i] != 0) {
+        EXPECT_EQ(got[i], want[i]) << "n=" << n << " i=" << i;
+        ++prefix;
+      }
+    }
   }
 }
 
