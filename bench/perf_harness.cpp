@@ -15,6 +15,10 @@
 //   - kernels: byte-plane vs packed bit-plane census / enumerate / GP match
 //     / neighbor pairing, and per-node vs batched child staging — the
 //     microscopic ingredients of the engine number above.
+//   - service: a fixed mixed request trace replayed through the solve
+//     service at 1/2/8 host threads — wall qps per thread count, plus the
+//     deterministic service metrics (p99 simulated-cycle latency, shed
+//     rate); the response logs must be byte-identical across thread counts.
 //
 // Timing protocol: every section runs SIMDTS_BENCH_REPS times and reports
 // the *median* wall time.  Medians are robust to the one-sided noise of a
@@ -47,6 +51,7 @@
 #include "runtime/sweep.hpp"
 #include "sanitizer/sanitizer.hpp"
 #include "search/work_stack.hpp"
+#include "service/service.hpp"
 #include "simd/bitplane.hpp"
 #include "simd/scan.hpp"
 #include "synthetic/tree.hpp"
@@ -650,6 +655,93 @@ int main() {
   }
   if (sink == 0xFFFFFFFFFFFFFFFFull) std::cout << "";  // keep `sink` live
 
+  // --- Solve service: qps across host threads + deterministic metrics. ----
+  // The same trace through the same service config must produce the same
+  // byte-for-byte response log at every thread count (FATAL if not) — only
+  // the wall clock may move.  The p99 simulated-cycle latency and shed rate
+  // come from the responses themselves and are host-independent.
+  const std::size_t svc_n = analysis::quick_mode() ? 160 : 500;
+  const auto svc_trace = service::random_trace(20260808, svc_n, 4);
+  service::ServiceConfig svc_cfg;
+  svc_cfg.admission.engines = 2;
+  svc_cfg.admission.queue_capacity = 6;
+  svc_cfg.admission.cycles_per_tick = 256;
+  svc_cfg.admission.degrade_depth = 4;
+
+  struct ServiceSample {
+    unsigned threads = 0;
+    double wall_s = 0.0;
+  };
+  std::vector<ServiceSample> svc_samples;
+  std::string svc_reference_log;
+  bool svc_identical = true;
+  double svc_p99_cycles = 0.0;
+  double svc_shed_rate = 0.0;
+  for (const unsigned t : {1u, 2u, 8u}) {
+    std::vector<double> walls;
+    std::string log;
+    std::vector<service::Response> responses;
+    for (unsigned rep = 0; rep < reps; ++rep) {
+      service::ServiceConfig run_cfg = svc_cfg;
+      run_cfg.threads = t;
+      service::SolveService svc(run_cfg);
+      const auto start = Clock::now();
+      responses = svc.run_trace(svc_trace);
+      walls.push_back(seconds_since(start));
+    }
+    log = service::SolveService::response_log(responses);
+    if (t == 1) {
+      svc_reference_log = log;
+      // Simulated-cycle latency of every executed response: queue wait (in
+      // admission ticks, converted at the configured cycle rate) plus the
+      // engine cycles actually spent.  Shed/rejected requests have no
+      // latency — they are the shed-rate numerator instead.
+      std::vector<double> latencies;
+      std::size_t shed = 0;
+      for (const auto& r : responses) {
+        if (r.status == service::ResponseStatus::kShed ||
+            r.status == service::ResponseStatus::kRejected) {
+          ++shed;
+          continue;
+        }
+        latencies.push_back(static_cast<double>(
+            r.queue_delay_ticks * svc_cfg.admission.cycles_per_tick +
+            r.expand_cycles));
+      }
+      std::sort(latencies.begin(), latencies.end());
+      svc_p99_cycles =
+          latencies.empty()
+              ? 0.0
+              : latencies[std::min(latencies.size() - 1,
+                                   latencies.size() * 99 / 100)];
+      svc_shed_rate =
+          static_cast<double>(shed) / static_cast<double>(svc_trace.size());
+    } else if (log != svc_reference_log) {
+      svc_identical = false;
+    }
+    const double wall = median(std::move(walls));
+    svc_samples.push_back(ServiceSample{t, wall});
+    std::cout << (t == 1 ? "service trace (" + std::to_string(svc_n) +
+                               " mixed requests):\n"
+                         : "")
+              << "  service t=" << t << ": "
+              << analysis::format_double(wall, 3) << " s, "
+              << analysis::format_double(
+                     wall > 0.0 ? static_cast<double>(svc_n) / wall : 0.0, 0)
+              << " req/s\n";
+  }
+  if (!svc_identical) {
+    std::cout << "\nFATAL: service response logs differ across host thread "
+                 "counts — refusing to report qps obtained by changing the "
+                 "responses.\n";
+    return 1;
+  }
+  std::cout << "  p99 simulated latency "
+            << analysis::format_double(svc_p99_cycles, 0)
+            << " cycles, shed rate "
+            << analysis::format_double(100.0 * svc_shed_rate, 1)
+            << "%, logs byte-identical across thread counts\n";
+
   // --- JSON artifact. -----------------------------------------------------
   std::ostringstream json;
   json << "{\n"
@@ -721,6 +813,19 @@ int main() {
          << "}}";
   }
   json << "},\n"
+       << "  \"service\": {\"requests\": " << svc_n << ", \"runs\": [\n";
+  for (std::size_t i = 0; i < svc_samples.size(); ++i) {
+    const ServiceSample& s = svc_samples[i];
+    json << "    {\"threads\": " << s.threads << ", \"wall_s\": "
+         << format_json_double(s.wall_s) << ", \"qps\": "
+         << format_json_double(s.wall_s > 0.0
+                                   ? static_cast<double>(svc_n) / s.wall_s
+                                   : 0.0)
+         << "}" << (i + 1 < svc_samples.size() ? "," : "") << "\n";
+  }
+  json << "  ], \"p99_sim_cycles\": " << format_json_double(svc_p99_cycles)
+       << ", \"shed_rate\": " << format_json_double(svc_shed_rate)
+       << ", \"responses_identical_across_threads\": true},\n"
        << "  \"kernels\": {\n";
   for (std::size_t i = 0; i < kernels.size(); ++i) {
     const KernelSample& k = kernels[i];

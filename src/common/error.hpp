@@ -102,6 +102,49 @@ class TransientError : public Error {
   using Error::Error;
 };
 
+/// The solve service refused (or shed) a request because accepting it would
+/// exceed a capacity bound: the admission queue is full, or the tenant is
+/// over its quota.  Overload is a *load* condition, not a bug — the caller
+/// is expected to back off and resubmit — so the message names the bound
+/// that was hit and the request it was hit by, never a stack of internals.
+class OverloadError : public Error {
+ public:
+  OverloadError(const std::string& what, std::uint64_t request_id,
+                std::uint32_t tenant)
+      : Error(format(what, request_id, tenant)) {}
+
+ private:
+  static std::string format(const std::string& what, std::uint64_t request_id,
+                            std::uint32_t tenant) {
+    std::ostringstream os;
+    os << what << " [request=" << request_id << " tenant=" << tenant << "]";
+    return os.str();
+  }
+};
+
+/// A result-cache entry failed its verified read (checksum mismatch, torn
+/// payload).  Never surfaced as a wrong answer: the service treats the entry
+/// as a miss, re-solves, and records this diagnostic in the response so the
+/// corruption is observable.  `key()` is the content-address of the bad
+/// entry.
+class CacheCorruptionError : public Error {
+ public:
+  CacheCorruptionError(std::uint64_t key, const std::string& what)
+      : Error(format(key, what)), key_(key) {}
+
+  [[nodiscard]] std::uint64_t key() const noexcept { return key_; }
+
+ private:
+  static std::string format(std::uint64_t key, const std::string& what) {
+    std::ostringstream os;
+    os << "cache entry failed verified read [key=" << std::hex << key
+       << std::dec << "]: " << what;
+    return os.str();
+  }
+
+  std::uint64_t key_;
+};
+
 /// A shadow-instrumentation check failed (SimdSan, compiled in only under
 /// SIMDTS_SANITIZE).  Unlike EngineError — which reports invariants the
 /// engine itself can observe — this reports violations of the *disciplines*

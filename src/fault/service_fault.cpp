@@ -1,0 +1,127 @@
+#include "fault/service_fault.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "fault/fault.hpp"
+
+namespace simdts::fault {
+
+const char* to_string(ServiceFaultKind k) {
+  switch (k) {
+    case ServiceFaultKind::kEngineCrash:
+      return "engine-crash";
+    case ServiceFaultKind::kCacheCorrupt:
+      return "cache-corrupt";
+    case ServiceFaultKind::kQueueStall:
+      return "queue-stall";
+  }
+  return "?";
+}
+
+ServiceFaultPlan::ServiceFaultPlan(std::vector<ServiceFaultEvent> events)
+    : events_(std::move(events)) {
+  std::stable_sort(events_.begin(), events_.end(),
+                   [](const ServiceFaultEvent& a, const ServiceFaultEvent& b) {
+                     return a.request_index < b.request_index;
+                   });
+}
+
+ServiceFaultPlan ServiceFaultPlan::random(std::uint64_t seed,
+                                          std::uint64_t n_requests,
+                                          std::uint32_t crashes,
+                                          std::uint32_t corruptions,
+                                          std::uint32_t stalls) {
+  if (n_requests == 0) {
+    throw ConfigError("ServiceFaultPlan::random: trace must be non-empty",
+                      "n_requests=0");
+  }
+  std::uint64_t state = seed;
+  std::vector<ServiceFaultEvent> events;
+  events.reserve(crashes + corruptions + stalls);
+  for (std::uint32_t i = 0; i < crashes; ++i) {
+    ServiceFaultEvent e;
+    e.request_index = splitmix64(state) % n_requests;
+    e.kind = ServiceFaultKind::kEngineCrash;
+    e.count = 1 + static_cast<std::uint32_t>(splitmix64(state) % 3);
+    events.push_back(e);
+  }
+  for (std::uint32_t i = 0; i < corruptions; ++i) {
+    ServiceFaultEvent e;
+    e.request_index = splitmix64(state) % n_requests;
+    e.kind = ServiceFaultKind::kCacheCorrupt;
+    // Byte offset into the stored payload; the service clamps it to the
+    // payload length, so any value is safe here.
+    e.count = static_cast<std::uint32_t>(splitmix64(state) % 64);
+    events.push_back(e);
+  }
+  for (std::uint32_t i = 0; i < stalls; ++i) {
+    ServiceFaultEvent e;
+    e.request_index = splitmix64(state) % n_requests;
+    e.kind = ServiceFaultKind::kQueueStall;
+    e.count = 5 + static_cast<std::uint32_t>(splitmix64(state) % 16);
+    events.push_back(e);
+  }
+  return ServiceFaultPlan(std::move(events));
+}
+
+void ServiceFaultPlan::validate(std::uint64_t n_requests) const {
+  for (std::size_t i = 0; i < events_.size(); ++i) {
+    const ServiceFaultEvent& e = events_[i];
+    std::ostringstream ctx;
+    ctx << "event " << i << " (" << to_string(e.kind) << ")";
+    if (e.request_index >= n_requests) {
+      ctx << " request_index=" << e.request_index
+          << " n_requests=" << n_requests;
+      throw ConfigError(
+          "ServiceFaultPlan: event targets a request outside the trace",
+          ctx.str());
+    }
+    if (e.kind == ServiceFaultKind::kEngineCrash && e.count == 0) {
+      throw ConfigError(
+          "ServiceFaultPlan: a crash event must fail at least one attempt",
+          ctx.str());
+    }
+    if (e.kind == ServiceFaultKind::kQueueStall && e.count == 0) {
+      throw ConfigError(
+          "ServiceFaultPlan: a stall event must last at least one tick",
+          ctx.str());
+    }
+  }
+}
+
+std::uint32_t ServiceFaultPlan::crash_attempts_for(std::uint64_t index) const {
+  std::uint32_t total = 0;
+  for (const ServiceFaultEvent& e : events_) {
+    if (e.request_index == index &&
+        e.kind == ServiceFaultKind::kEngineCrash) {
+      total += e.count;
+    }
+  }
+  return total;
+}
+
+std::vector<std::uint32_t> ServiceFaultPlan::corrupt_bytes_for(
+    std::uint64_t index) const {
+  std::vector<std::uint32_t> out;
+  for (const ServiceFaultEvent& e : events_) {
+    if (e.request_index == index &&
+        e.kind == ServiceFaultKind::kCacheCorrupt) {
+      out.push_back(e.count);
+    }
+  }
+  return out;
+}
+
+std::uint64_t ServiceFaultPlan::stall_ticks_for(std::uint64_t index) const {
+  std::uint64_t total = 0;
+  for (const ServiceFaultEvent& e : events_) {
+    if (e.request_index == index && e.kind == ServiceFaultKind::kQueueStall) {
+      total += e.count;
+    }
+  }
+  return total;
+}
+
+}  // namespace simdts::fault

@@ -9,6 +9,7 @@
 #include <thread>
 
 #include "common/error.hpp"
+#include "fault/fault.hpp"
 
 namespace simdts::runtime {
 
@@ -74,6 +75,20 @@ const char* to_string(TaskStatus s) {
   return "?";
 }
 
+std::uint64_t backoff_delay_ms(const RetryPolicy& policy, std::uint32_t retry,
+                               std::uint64_t salt) {
+  if (retry == 0 || policy.backoff_ms == 0) return 0;
+  // Retry k (1-based) waits backoff_ms << (k - 1); the shift is clamped so
+  // absurd attempt limits saturate instead of shifting past the width.
+  const std::uint32_t shift = std::min(retry - 1, 32u);
+  const std::uint64_t base = static_cast<std::uint64_t>(policy.backoff_ms)
+                             << shift;
+  if (policy.jitter_seed == 0) return base;
+  std::uint64_t state = policy.jitter_seed ^ (salt * 0x9E3779B97F4A7C15ULL);
+  state += retry;
+  return base + fault::splitmix64(state) % base;
+}
+
 std::vector<TaskReport> run_tasks(SweepRunner& runner, std::size_t n,
                                   const std::function<void(std::size_t)>& task,
                                   RetryPolicy policy) {
@@ -98,7 +113,7 @@ std::vector<TaskReport> run_tasks(SweepRunner& runner, std::size_t n,
         r.message = e.what();
         if (attempt + 1 >= max_attempts) return;
         std::this_thread::sleep_for(std::chrono::milliseconds(
-            static_cast<std::uint64_t>(policy.backoff_ms) << attempt));
+            backoff_delay_ms(policy, attempt + 1, i)));
       } catch (const std::exception& e) {
         r.status = TaskStatus::kFailed;
         r.message = e.what();

@@ -96,8 +96,31 @@ struct TaskReport {
 /// will blow it every time.
 struct RetryPolicy {
   std::uint32_t max_attempts = 3;   ///< total executions (first + retries)
-  std::uint32_t backoff_ms = 10;    ///< sleep before retry k is backoff_ms<<k
+  /// Base backoff: the sleep before retry k (1-based) is
+  /// backoff_ms << (k - 1) — the first retry waits the base delay, every
+  /// further retry doubles it.  See backoff_delay_ms() for the exact
+  /// (clamped, optionally jittered) schedule.
+  std::uint32_t backoff_ms = 10;
+  /// Nonzero arms deterministic jitter: each delay gains a SplitMix64-derived
+  /// offset in [0, base) mixed from (jitter_seed, salt, retry), so
+  /// simultaneous retries of different tasks decorrelate without any host
+  /// RNG state.  Zero (the default) keeps the schedule exactly exponential.
+  std::uint64_t jitter_seed = 0;
 };
+
+/// The backoff schedule as a pure function: the delay in milliseconds slept
+/// before retry `retry` (1-based — retry 1 precedes the second execution;
+/// retry 0 is meaningless and returns 0).  The base delay is
+/// backoff_ms << (retry - 1) with the shift clamped at 32, so a pathological
+/// attempt limit saturates instead of shifting past the width (undefined
+/// behaviour).  With policy.jitter_seed != 0 a deterministic jitter in
+/// [0, base) is added, derived from SplitMix64 over (jitter_seed, salt,
+/// retry); `salt` identifies the retrying task (run_tasks passes the task
+/// index) so concurrent retries spread out.  Exposed — and kept pure — so
+/// tests and the service layer can pin the exact schedule without sleeping.
+[[nodiscard]] std::uint64_t backoff_delay_ms(const RetryPolicy& policy,
+                                             std::uint32_t retry,
+                                             std::uint64_t salt = 0);
 
 /// Like SweepRunner::run, but failures are contained per task: returns one
 /// TaskReport per index instead of rethrowing the first exception.  A task

@@ -1,0 +1,180 @@
+#include "service/admission.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <limits>
+#include <map>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace simdts::service {
+
+void AdmissionConfig::validate() const {
+  std::ostringstream ctx;
+  ctx << "engines=" << engines << " queue_capacity=" << queue_capacity
+      << " tenant_quota=" << tenant_quota
+      << " cycles_per_tick=" << cycles_per_tick << " min_p=" << min_p;
+  if (engines == 0 || queue_capacity == 0 || tenant_quota == 0 ||
+      cycles_per_tick == 0) {
+    throw ConfigError(
+        "admission config bounds must all be positive", ctx.str());
+  }
+  if (min_p < 2 || (min_p & (min_p - 1)) != 0) {
+    throw ConfigError("admission min_p must be a power of two >= 2",
+                      ctx.str());
+  }
+}
+
+AdmissionController::AdmissionController(AdmissionConfig cfg) : cfg_(cfg) {
+  cfg_.validate();
+}
+
+std::vector<AdmissionDecision> AdmissionController::plan(
+    const std::vector<Request>& trace,
+    const fault::ServiceFaultPlan& faults) const {
+  for (std::size_t i = 1; i < trace.size(); ++i) {
+    if (trace[i].arrival_tick < trace[i - 1].arrival_tick) {
+      std::ostringstream ctx;
+      ctx << "request=" << trace[i].id << " position=" << i
+          << " arrival=" << trace[i].arrival_tick
+          << " previous=" << trace[i - 1].arrival_tick;
+      throw ConfigError("trace must be sorted by nondecreasing arrival_tick",
+                        ctx.str());
+    }
+  }
+
+  std::vector<AdmissionDecision> out(trace.size());
+  struct Running {
+    std::uint64_t finish;
+    std::uint32_t tenant;
+  };
+  std::vector<Running> running;
+  std::deque<std::size_t> queue;         // trace indices, FIFO
+  std::map<std::uint32_t, std::uint32_t> load;  // tenant -> queued + running
+  std::uint64_t stall_until = 0;
+  std::uint64_t now = 0;
+
+  const auto service_ticks = [&](std::size_t i) {
+    return std::max<std::uint64_t>(
+        1, trace[i].cost_hint / cfg_.cycles_per_tick);
+  };
+  const auto start = [&](std::size_t i, std::uint64_t at) {
+    out[i].start_tick = at;
+    out[i].queue_delay_ticks = at - trace[i].arrival_tick;
+    running.push_back({at + service_ticks(i), trace[i].tenant});
+  };
+  const auto retire = [&](std::uint64_t upto) {
+    for (std::size_t k = 0; k < running.size();) {
+      if (running[k].finish <= upto) {
+        --load[running[k].tenant];
+        running[k] = running.back();
+        running.pop_back();
+      } else {
+        ++k;
+      }
+    }
+  };
+  const auto try_start_queued = [&](std::uint64_t at) {
+    while (!queue.empty() && running.size() < cfg_.engines &&
+           at >= stall_until) {
+      const std::size_t i = queue.front();
+      queue.pop_front();
+      start(i, at);
+    }
+  };
+  // Advance the virtual clock to t, replaying every completion and queue
+  // start strictly in event order (each pass strictly increases `now`, so
+  // this terminates).
+  const auto process_until = [&](std::uint64_t t) {
+    for (;;) {
+      std::uint64_t next = std::numeric_limits<std::uint64_t>::max();
+      for (const Running& rn : running) next = std::min(next, rn.finish);
+      if (!queue.empty() && running.size() < cfg_.engines &&
+          stall_until > now) {
+        next = std::min(next, stall_until);
+      }
+      // No event at all (next is the sentinel) or none due by t: stop.
+      if (next == std::numeric_limits<std::uint64_t>::max() || next > t) {
+        break;
+      }
+      now = std::max(now, next);
+      retire(now);
+      try_start_queued(now);
+    }
+    now = std::max(now, t);
+    retire(now);
+    try_start_queued(now);
+  };
+  const auto enqueue = [&](std::size_t i) {
+    queue.push_back(i);
+    ++load[trace[i].tenant];
+    if (queue.size() >= cfg_.degrade_depth) {
+      out[i].downshift_p = true;
+      out[i].force_first_solution = true;
+    }
+  };
+
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    const Request& r = trace[i];
+    process_until(r.arrival_tick);
+    if (const std::uint64_t s = faults.stall_ticks_for(i); s > 0) {
+      stall_until = std::max(stall_until, r.arrival_tick + s);
+    }
+    AdmissionDecision& d = out[i];
+    if (load[r.tenant] >= cfg_.tenant_quota) {
+      d.outcome = AdmissionOutcome::kReject;
+      d.note = OverloadError("tenant quota exhausted at admission", r.id,
+                             r.tenant)
+                   .what();
+      continue;
+    }
+    if (running.size() < cfg_.engines && queue.empty() &&
+        now >= stall_until) {
+      ++load[r.tenant];
+      start(i, r.arrival_tick);
+      continue;
+    }
+    if (queue.size() < cfg_.queue_capacity) {
+      enqueue(i);
+      continue;
+    }
+    // Queue full: shed cheapest-first.  Candidates are the queued requests
+    // plus the newcomer; the lowest priority class loses, latest arrival
+    // breaking ties (queued entries arrived earlier than the newcomer, so an
+    // equal-priority newcomer is the one shed).
+    std::size_t victim = i;
+    for (const std::size_t q : queue) {
+      const bool cheaper =
+          trace[q].priority != trace[victim].priority
+              ? trace[q].priority < trace[victim].priority
+              : q > victim;
+      if (cheaper) victim = q;
+    }
+    if (victim == i) {
+      d.outcome = AdmissionOutcome::kReject;
+      d.note = OverloadError(
+                   "admission queue full; request is the cheapest to shed",
+                   r.id, r.tenant)
+                   .what();
+    } else {
+      AdmissionDecision& v = out[victim];
+      v.outcome = AdmissionOutcome::kShed;
+      v.downshift_p = false;
+      v.force_first_solution = false;
+      v.note = OverloadError(
+                   "evicted from a full admission queue by a later arrival",
+                   trace[victim].id, trace[victim].tenant)
+                   .what();
+      --load[trace[victim].tenant];
+      queue.erase(std::find(queue.begin(), queue.end(), victim));
+      enqueue(i);
+    }
+  }
+  // Drain everything still queued or running so every admitted request gets
+  // a start tick.
+  process_until(std::numeric_limits<std::uint64_t>::max());
+  return out;
+}
+
+}  // namespace simdts::service

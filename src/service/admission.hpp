@@ -1,0 +1,97 @@
+// Admission control for the solve service: a deterministic virtual-time
+// replay of the request trace.
+//
+// The controller is a *planner*, not an online gatekeeper: it takes the
+// whole arrival-ordered trace and simulates the service's queueing on a
+// virtual tick clock — E engine slots draining a bounded FIFO queue, each
+// request occupying an engine for max(1, cost_hint / cycles_per_tick) ticks.
+// Because the pass is serial and touches no host clock, the resulting
+// decisions are a pure function of (trace, config, fault plan): replaying
+// the same trace sheds the same requests at the same virtual ticks for any
+// host thread count, which is what makes the service's response logs
+// byte-identical.
+//
+// Policy, in order, at each arrival:
+//   - tenant quota: a tenant with `tenant_quota` requests already queued or
+//     running is refused outright (kReject).
+//   - free engine, empty queue, no stall: start immediately.
+//   - queue has room: enqueue FIFO.  If the post-enqueue depth reaches
+//     `degrade_depth`, the request is marked for graceful degradation (P
+//     halved toward min_p, exhaustive mode downshifted to first-solution) —
+//     the service records both downgrades in the response.
+//   - queue full: shed cheapest-first — among the queued requests plus the
+//     newcomer, the lowest priority class loses, latest arrival breaking
+//     ties (interactive work is never shed while batch work waits).  An
+//     evicted queued request becomes kShed; a refused newcomer kReject.
+//     Either way the note carries the simdts::OverloadError text naming the
+//     bound that was hit.
+//
+// A fault::ServiceFaultKind::kQueueStall event freezes queue drain from its
+// request's arrival for `count` ticks: running work completes, but nothing
+// leaves the queue, so later arrivals see deeper queues and shed sooner.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fault/service_fault.hpp"
+#include "service/request.hpp"
+
+namespace simdts::service {
+
+struct AdmissionConfig {
+  std::uint32_t engines = 2;         ///< concurrent solve slots
+  std::uint32_t queue_capacity = 8;  ///< waiting slots behind the engines
+  /// Per-tenant cap on queued + running requests.
+  std::uint32_t tenant_quota = 6;
+  /// cost_hint cycles per virtual tick (service time = ceil-ish hint/this).
+  std::uint64_t cycles_per_tick = 512;
+  /// Queue depth at which newly enqueued requests are degraded.
+  std::uint32_t degrade_depth = 6;
+  /// Floor for the degraded machine size.
+  std::uint32_t min_p = 2;
+
+  /// Throws simdts::ConfigError on zero engines/capacity/quota/tick size or
+  /// a min_p that is not a power of two.
+  void validate() const;
+
+  friend bool operator==(const AdmissionConfig&,
+                         const AdmissionConfig&) = default;
+};
+
+enum class AdmissionOutcome : std::uint8_t {
+  kAdmit = 0,
+  kShed = 1,    ///< enqueued, then evicted by a later overload
+  kReject = 2,  ///< refused at arrival (quota, or cheapest under overload)
+};
+
+struct AdmissionDecision {
+  AdmissionOutcome outcome = AdmissionOutcome::kAdmit;
+  bool downshift_p = false;
+  bool force_first_solution = false;
+  std::uint64_t start_tick = 0;        ///< virtual tick the solve began
+  std::uint64_t queue_delay_ticks = 0; ///< start_tick - arrival_tick
+  std::string note;                    ///< overload reason when not admitted
+
+  friend bool operator==(const AdmissionDecision&,
+                         const AdmissionDecision&) = default;
+};
+
+class AdmissionController {
+ public:
+  explicit AdmissionController(AdmissionConfig cfg);
+
+  /// Plans the whole trace (must be arrival-ordered; throws ConfigError
+  /// otherwise).  Returns one decision per request, trace-indexed.
+  [[nodiscard]] std::vector<AdmissionDecision> plan(
+      const std::vector<Request>& trace,
+      const fault::ServiceFaultPlan& faults) const;
+
+  [[nodiscard]] const AdmissionConfig& config() const noexcept { return cfg_; }
+
+ private:
+  AdmissionConfig cfg_;
+};
+
+}  // namespace simdts::service

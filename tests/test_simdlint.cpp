@@ -486,8 +486,14 @@ TEST(SimdlintIncludeGraph, ModuleRanksFormTheDocumentedDag) {
             simdlint::module_rank("runtime"));
   EXPECT_LT(simdlint::module_rank("runtime"),
             simdlint::module_rank("analysis"));
+  EXPECT_LT(simdlint::module_rank("runtime"),
+            simdlint::module_rank("service"));
   // Sibling domain modules share a rank; unknown modules have none.
   EXPECT_EQ(simdlint::module_rank("queens"), simdlint::module_rank("tsp"));
+  // service and analysis are top-rank siblings: neither may include the
+  // other (the same-rank rule that keeps the domains independent).
+  EXPECT_EQ(simdlint::module_rank("service"),
+            simdlint::module_rank("analysis"));
   EXPECT_EQ(simdlint::module_rank("nonsense"), -1);
   EXPECT_EQ(simdlint::module_of("src/lb/engine.hpp"), "lb");
   EXPECT_EQ(simdlint::module_of("fault/fault.hpp"), "fault");

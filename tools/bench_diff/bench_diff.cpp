@@ -357,6 +357,31 @@ void check_schema(Checker& c, const Value& root) {
     }
   }
 
+  if (const Value* sv = c.need(root, "$", "service", Value::Kind::kObject)) {
+    c.need_number(*sv, "$.service", "requests");
+    c.need_number(*sv, "$.service", "p99_sim_cycles");
+    const Value* shed = sv->find("shed_rate");
+    if (!shed || shed->kind != Value::Kind::kNumber)
+      c.fail("$.service.shed_rate", "missing or non-numeric");
+    else if (shed->number < 0.0 || shed->number > 1.0)
+      c.fail("$.service.shed_rate", "must be a fraction in [0, 1]");
+    c.need_true(*sv, "$.service", "responses_identical_across_threads");
+    if (const Value* runs =
+            c.need(*sv, "$.service", "runs", Value::Kind::kArray)) {
+      if (runs->array.empty()) c.fail("$.service.runs", "must not be empty");
+      for (std::size_t i = 0; i < runs->array.size(); ++i) {
+        const std::string path = "$.service.runs[" + std::to_string(i) + "]";
+        const Value& r = *runs->array[i];
+        if (r.kind != Value::Kind::kObject) {
+          c.fail(path, "must be an object");
+          continue;
+        }
+        for (const char* key : {"threads", "wall_s", "qps"})
+          c.need_number(r, path, key);
+      }
+    }
+  }
+
   if (const Value* ks = c.need(root, "$", "kernels", Value::Kind::kObject)) {
     if (ks->object.empty()) c.fail("$.kernels", "must not be empty");
     for (const auto& [name, k] : ks->object) {

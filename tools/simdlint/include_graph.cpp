@@ -18,7 +18,7 @@ constexpr std::pair<const char*, int> kModuleRanks[] = {
     {"common", 0},   {"sanitizer", 1}, {"simd", 2},   {"search", 3},
     {"fault", 4},    {"synthetic", 5}, {"puzzle", 5}, {"queens", 5},
     {"tsp", 5},      {"mimd", 5},      {"vec", 6},    {"lb", 7},
-    {"baselines", 8}, {"runtime", 9},  {"analysis", 10},
+    {"baselines", 8}, {"runtime", 9},  {"analysis", 10}, {"service", 10},
 };
 
 }  // namespace
