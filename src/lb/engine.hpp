@@ -97,6 +97,18 @@ class Engine {
         alive_(machine.size()),
         lane_scratch_(machine.pool() != nullptr ? machine.pool()->size() : 1) {
     cfg_.validate();
+    // Size the lane scratch once, outside the lockstep region: a cycle
+    // records at most one goal per PE and a batch never crosses one flag
+    // word, so with these capacities a steady-state cycle touches no
+    // allocator at all (the effect analysis pins the remaining growth
+    // sites, see the markers in expand_cycle / expand_cycle_vector).
+    for (LaneScratch& ls : lane_scratch_) {
+      ls.goal_nodes.reserve(machine.size());
+#ifdef SIMDTS_VECTOR_BACKEND
+      ls.batch_nodes.reserve(simd::BitPlane::kWordBits);
+      ls.batch_counts.resize(simd::BitPlane::kWordBits);
+#endif
+    }
 #ifdef SIMDTS_SANITIZE
     san_dead_.resize(machine.size());
 #endif
@@ -401,6 +413,7 @@ class Engine {
   /// two lanes write the same flag word; census deltas, goals and pruned
   /// bounds land in lane scratch and are reduced in lane order at the
   /// barrier.
+  // SIMDLINT-REGION(lockstep)
   void expand_cycle(search::Bound bound, IterationStats& stats) {
     for (auto& ls : lane_scratch_) {
       ls.d_nonempty = 0;
@@ -452,10 +465,14 @@ class Engine {
           Node n = st.pop();
           if (problem_.is_goal(n)) {
             ++ls.goals;
-            ls.goal_nodes.push_back(std::move(n));
+            // SIMDLINT-EFFECT-OK(allocates) capacity P reserved at
+            ls.goal_nodes.push_back(std::move(n));  // construction; a cycle
+            // records at most one goal per PE, so this never reallocates.
           } else {
             const std::size_t staged = ls.children.size();
-            problem_.expand(n, bound, ls.children, ls.next_bound);
+            // SIMDLINT-EFFECT-OK(allocates) children is persistent-capacity
+            problem_.expand(n, bound, ls.children, ls.next_bound);  // lane
+            // scratch: growth is amortized across the whole run.
             const std::size_t added = ls.children.size() - staged;
             if (added != 0) st.append(ls.children.data() + staged, added);
           }
@@ -513,7 +530,9 @@ class Engine {
       d_splittable += ls.d_splittable;
       stats.goals_found += ls.goals;
       next_bound_.merge(ls.next_bound);
+      // SIMDLINT-EFFECT-OK(allocates) goal recording is the run's output
       for (auto& g : ls.goal_nodes) goal_nodes_.push_back(std::move(g));
+      // channel: it only ever grows on the cycle a solution lands.
     }
     counts_.nonempty = static_cast<std::uint32_t>(
         static_cast<std::int64_t>(counts_.nonempty) + d_nonempty);
@@ -543,6 +562,7 @@ class Engine {
   ///    bit order, so every plane word and census delta is identical.
   ///  - A batch never crosses a word, hence never a host-thread ownership
   ///    boundary; the barrier reduction is the same reduce_cycle_scratch.
+  // SIMDLINT-REGION(lockstep)
   void expand_cycle_vector(search::Bound bound, IterationStats& stats) {
     for (auto& ls : lane_scratch_) {
       ls.d_nonempty = 0;
@@ -550,9 +570,6 @@ class Engine {
       ls.goals = 0;
       ls.goal_nodes.clear();
       ls.next_bound = search::NextBound{};
-      if (ls.batch_counts.size() < simd::BitPlane::kWordBits) {
-        ls.batch_counts.resize(simd::BitPlane::kWordBits);
-      }
     }
     constexpr std::size_t kWordBits = simd::BitPlane::kWordBits;
     std::uint64_t* const idle_words = idle_flags_.words().data();
@@ -596,13 +613,18 @@ class Engine {
           Node n = stacks_[base + b].pop();
           if (problem_.is_goal(n)) {
             ++ls.goals;
-            ls.goal_nodes.push_back(std::move(n));
+            // SIMDLINT-EFFECT-OK(allocates) capacity P reserved at
+            ls.goal_nodes.push_back(std::move(n));  // construction; a cycle
+            // records at most one goal per PE, so this never reallocates.
             goal_bits |= std::uint64_t{1} << b;
           } else {
-            ls.batch_nodes.push_back(std::move(n));
+            // SIMDLINT-EFFECT-OK(allocates) capacity kWordBits reserved at
+            ls.batch_nodes.push_back(std::move(n));  // construction; a batch
+            // never crosses one flag word, so this never reallocates.
           }
         }
         if (!ls.batch_nodes.empty()) {
+          // SIMDLINT-EFFECT-OK(allocates) children is persistent-capacity
           vec::BatchExpander<P>::expand(
               problem_, ls.batch_nodes.data(),
               static_cast<std::uint32_t>(ls.batch_nodes.size()), bound,
@@ -708,6 +730,7 @@ class Engine {
   /// Applies every fault event due at the current simulated cycle, in plan
   /// order.  Runs in the engine's serial section (between lock-step cycles),
   /// so fault handling is deterministic for any host thread count.
+  // SIMDLINT-REGION(serial)
   void apply_due_faults(IterationStats& stats, Trigger& trigger) {
     const auto& events = fault_plan_->events();
     while (next_fault_ < events.size() &&

@@ -30,6 +30,7 @@ AdmissionController::AdmissionController(AdmissionConfig cfg) : cfg_(cfg) {
   cfg_.validate();
 }
 
+// SIMDLINT-REGION(serial)
 std::vector<AdmissionDecision> AdmissionController::plan(
     const std::vector<Request>& trace,
     const fault::ServiceFaultPlan& faults) const {

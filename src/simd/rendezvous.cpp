@@ -117,7 +117,9 @@ void rendezvous_into(std::span<const std::uint8_t> donor_flags,
     for (; r < pr && receiver_flags[r] == 0; ++r) {
     }
     if (r == pr) return;
-    out.push_back(Pair{donor, static_cast<PeIndex>(r)});
+    // SIMDLINT-EFFECT-OK(allocates) `out` is the caller's persistent-capacity
+    out.push_back(Pair{donor, static_cast<PeIndex>(r)});  // pairing buffer:
+    // at most P/2 pairs per cycle, so steady state never reallocates.
     ++r;
   }
 }
@@ -147,7 +149,9 @@ void rendezvous_into(const BitPlane& donor_flags,
     if (d == pd) return;
     const std::size_t r = receivers.next();
     if (r == pr) return;
+    // SIMDLINT-EFFECT-OK(allocates) `out` is the caller's persistent-capacity
     out.push_back(Pair{static_cast<PeIndex>(d), static_cast<PeIndex>(r)});
+    // pairing buffer: at most P/2 pairs per cycle; growth amortizes away.
   }
 }
 
@@ -161,7 +165,9 @@ void ranked_into(const BitPlane& flags, PeIndex start_after,
                              : (static_cast<std::size_t>(start_after) + 1) % p;
   RotatedSetCursor cursor(flags, first);
   for (std::size_t i = cursor.next(); i != p; i = cursor.next()) {
-    out.push_back(static_cast<PeIndex>(i));
+    // SIMDLINT-EFFECT-OK(allocates) `out` is the caller's persistent-capacity
+    out.push_back(static_cast<PeIndex>(i));  // rank buffer, bounded by P;
+    // growth amortizes away after the first full cycle.
   }
 }
 

@@ -164,6 +164,7 @@ void fifteen_candidates(const FifteenBatchSoA& s, std::uint32_t padded,
 
 }  // namespace
 
+// SIMDLINT-REGION(lockstep)
 void expand_batch_tree(const synthetic::Tree& tree,
                        const synthetic::Tree::Node* nodes, std::uint32_t count,
                        search::Bound bound,
@@ -173,8 +174,9 @@ void expand_batch_tree(const synthetic::Tree& tree,
   const synthetic::Params& prm = tree.params();
   if (count == 0) return;
   if (prm.max_children > kMaxTreeSlots) {
+    // SIMDLINT-EFFECT-OK(allocates) scalar fallback stages into the same
     search::expand_batch_fallback(tree, nodes, count, bound, out, child_counts,
-                                  next);
+                                  next);  // persistent-capacity buffer.
     return;
   }
 
@@ -235,8 +237,9 @@ void expand_batch_tree(const synthetic::Tree& tree,
   // Emission: per node in batch order, per slot in slot order, cursor
   // advanced by the existence predicate — the scalar staging loop exactly.
   const std::size_t base = out.size();
+  // SIMDLINT-EFFECT-OK(allocates) `out` is the caller's persistent-capacity
   out.resize(base + static_cast<std::size_t>(count) * prm.max_children);
-  Node* const dst = out.data() + base;
+  Node* const dst = out.data() + base;  // staging buffer; growth amortizes.
   std::size_t k = 0;
   for (std::uint32_t j = 0; j < count; ++j) {
     const std::size_t start = k;
@@ -247,12 +250,14 @@ void expand_batch_tree(const synthetic::Tree& tree,
     }
     child_counts[j] = static_cast<std::uint32_t>(k - start);
   }
+  // SIMDLINT-EFFECT-OK(allocates) shrinking resize: capacity is retained
   out.resize(base + k);
   // Exhaustive domain: the bound is ignored and next never observed, as in
   // the scalar expand().
   static_cast<void>(next);
 }
 
+// SIMDLINT-REGION(lockstep)
 void expand_batch_fifteen(const puzzle::FifteenPuzzle& p,
                           const puzzle::FifteenPuzzle::Node* nodes,
                           std::uint32_t count, search::Bound bound,
@@ -263,8 +268,9 @@ void expand_batch_fifteen(const puzzle::FifteenPuzzle& p,
   if (count == 0) return;
   if (p.heuristic() != puzzle::Heuristic::kManhattan) {
     // Linear conflict re-evaluates whole boards; keep the scalar reference.
+    // SIMDLINT-EFFECT-OK(allocates) scalar fallback stages into the same
     search::expand_batch_fallback(p, nodes, count, bound, out, child_counts,
-                                  next);
+                                  next);  // persistent-capacity buffer.
     return;
   }
 
@@ -299,8 +305,9 @@ void expand_batch_fifteen(const puzzle::FifteenPuzzle& p,
   next.observe(static_cast<search::Bound>(m));
 
   const std::size_t base = out.size();
+  // SIMDLINT-EFFECT-OK(allocates) `out` is the caller's persistent-capacity
   out.resize(base + static_cast<std::size_t>(count) * 4);
-  Node* const dst = out.data() + base;
+  Node* const dst = out.data() + base;  // staging buffer; growth amortizes.
   std::size_t k = 0;
   for (std::uint32_t j = 0; j < count; ++j) {
     const std::size_t start = k;
@@ -317,6 +324,7 @@ void expand_batch_fifteen(const puzzle::FifteenPuzzle& p,
     }
     child_counts[j] = static_cast<std::uint32_t>(k - start);
   }
+  // SIMDLINT-EFFECT-OK(allocates) shrinking resize: capacity is retained
   out.resize(base + k);
 }
 

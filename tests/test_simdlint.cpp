@@ -11,10 +11,12 @@
 #include <vector>
 
 #include "simdlint/baseline.hpp"
+#include "simdlint/effects.hpp"
 #include "simdlint/include_graph.hpp"
 #include "simdlint/lexer.hpp"
 #include "simdlint/report.hpp"
 #include "simdlint/rules.hpp"
+#include "simdlint/symbols.hpp"
 
 namespace {
 
@@ -574,6 +576,402 @@ TEST(SimdlintIncludeGraph, SelfIncludeIsACycle) {
   const auto findings = simdlint::find_include_cycles(files);
   ASSERT_EQ(findings.size(), 1u);
   EXPECT_EQ(findings[0].rule, "include-cycle");
+}
+
+TEST(SimdlintIncludeGraph, IncludesInsideIfZeroBlocksAreInvisible) {
+  // `#if 0` is how this repo parks dead directives; counting those edges
+  // would invent layering violations out of commented-out code.  Nested
+  // conditionals inside the dead block must not resurrect it early, and
+  // `#else` of the outer `#if 0` re-enables scanning.
+  const auto f = simdlint::SourceFile::parse("src/lb/x.hpp",
+                                             "#pragma once\n"
+                                             "#if 0\n"
+                                             "#include \"lb/dead.hpp\"\n"
+                                             "#ifdef NESTED\n"
+                                             "#include \"lb/nested.hpp\"\n"
+                                             "#endif\n"
+                                             "#include \"lb/also_dead.hpp\"\n"
+                                             "#else\n"
+                                             "#include \"lb/live.hpp\"\n"
+                                             "#endif\n"
+                                             "#include \"lb/after.hpp\"\n");
+  const auto edges = simdlint::quoted_includes(f);
+  ASSERT_EQ(edges.size(), 2u);
+  EXPECT_EQ(edges[0].target, "lb/live.hpp");
+  EXPECT_EQ(edges[0].line, 9u);
+  EXPECT_EQ(edges[1].target, "lb/after.hpp");
+  EXPECT_EQ(edges[1].line, 11u);
+}
+
+TEST(SimdlintIncludeGraph, BackslashContinuedIncludesAreStillSeen) {
+  // A backslash-newline is directive whitespace: the include must be
+  // extracted and attributed to the line the `#` sits on.
+  const auto f = simdlint::SourceFile::parse("src/lb/x.hpp",
+                                             "#pragma once\n"
+                                             "#include \\\n"
+                                             "  \"lb/config.hpp\"\n"
+                                             "# \\\n"
+                                             "include \"simd/scan.hpp\"\n");
+  const auto edges = simdlint::quoted_includes(f);
+  ASSERT_EQ(edges.size(), 2u);
+  EXPECT_EQ(edges[0].target, "lb/config.hpp");
+  EXPECT_EQ(edges[0].line, 2u);
+  EXPECT_EQ(edges[1].target, "simd/scan.hpp");
+  EXPECT_EQ(edges[1].line, 4u);
+}
+
+TEST(SimdlintIncludeGraph, SameBasenameInDifferentDirsResolvesByFullPath) {
+  // Two headers named util.hpp: edges must bind to the full repo-relative
+  // path, never the basename — basename matching would see a fake cycle
+  // here the moment simd/util.hpp includes any third util.hpp.
+  std::vector<simdlint::SourceFile> files;
+  files.push_back(simdlint::SourceFile::parse(
+      "src/lb/util.hpp", "#pragma once\n#include \"simd/util.hpp\"\n"));
+  files.push_back(simdlint::SourceFile::parse(
+      "src/simd/util.hpp", "#pragma once\n#include \"common/util.hpp\"\n"));
+  EXPECT_TRUE(simdlint::find_include_cycles(files).empty());
+  // The genuine cycle between the two same-name headers is still caught.
+  files[1] = simdlint::SourceFile::parse(
+      "src/simd/util.hpp", "#pragma once\n#include \"lb/util.hpp\"\n");
+  EXPECT_EQ(simdlint::find_include_cycles(files).size(), 1u);
+}
+
+TEST(SimdlintLayering, ToolsOutrankEveryLibraryLayer) {
+  // tools/ may depend on any src module; no src module may include tools/.
+  EXPECT_FALSE(has_rule(
+      active("tools/bench_x/x.cpp", "#include \"lb/engine.hpp\"\n"),
+      "layering"));
+  EXPECT_TRUE(has_rule(
+      active("src/lb/bad.cpp", "#include \"tools/simdlint/lexer.hpp\"\n"),
+      "layering"));
+}
+
+// ---------------------------------------------------------------------------
+// Cross-TU effect analysis (simdlint v3): every rule gets a mutation test —
+// the forbidden effect sits N calls deep and the witness must name every
+// frame of the chain, across translation units.
+// ---------------------------------------------------------------------------
+
+std::vector<Finding> effects(
+    const std::vector<std::pair<std::string, std::string>>& sources,
+    const std::string& conf, bool subset = false) {
+  std::vector<simdlint::SourceFile> files;
+  files.reserve(sources.size());
+  for (const auto& [path, code] : sources) {
+    files.push_back(simdlint::SourceFile::parse(path, code));
+  }
+  return simdlint::find_effect_findings(
+      files, simdlint::parse_effects_conf("tools/simdlint/effects.conf", conf),
+      subset);
+}
+
+const Finding* only_rule(const std::vector<Finding>& fs,
+                         const std::string& rule) {
+  const Finding* hit = nullptr;
+  for (const auto& f : fs) {
+    if (f.rule != rule) continue;
+    if (hit != nullptr) return nullptr;  // ambiguous: caller wants exactly one
+    hit = &f;
+  }
+  return hit;
+}
+
+TEST(SimdlintEffects, AllocationThreeCallsDeepAcrossTusNamesEveryFrame) {
+  const auto fs = effects(
+      {{"src/lb/a.cpp",
+        "namespace simdts::lb {\n"
+        "void grow(std::vector<int>& v) { v.push_back(1); }\n"
+        "void stage(std::vector<int>& v) { grow(v); }\n"
+        "}\n"},
+       {"src/lb/b.cpp",
+        "namespace simdts::lb {\n"
+        "void tick(std::vector<int>& v) { stage(v); }\n"
+        "}\n"}},
+      "region lockstep simdts::lb::tick\n");
+  const Finding* f = only_rule(fs, "region-allocates");
+  ASSERT_NE(f, nullptr);
+  EXPECT_EQ(f->path, "src/lb/b.cpp");
+  EXPECT_NE(f->message.find("lockstep region 'simdts::lb::tick'"),
+            std::string::npos)
+      << f->message;
+  EXPECT_NE(
+      f->message.find("tick -> stage -> grow -> v.push_back [allocates]"),
+      std::string::npos)
+      << f->message;
+  // Mutation: same chain without the root declaration reports nothing.
+  EXPECT_TRUE(effects({{"src/lb/a.cpp",
+                        "namespace simdts::lb {\n"
+                        "void grow(std::vector<int>& v) { v.push_back(1); }\n"
+                        "void tick(std::vector<int>& v) { grow(v); }\n"
+                        "}\n"}},
+                      "")
+                  .empty());
+}
+
+TEST(SimdlintEffects, LockTwoCallsDeepNamesEveryFrame) {
+  const auto fs = effects(
+      {{"src/simd/a.cpp",
+        "namespace simdts::simd {\n"
+        "void with_lock() { std::mutex m; }\n"
+        "void tick() { with_lock(); }\n"
+        "}\n"}},
+      "region lockstep simdts::simd::tick\n");
+  const Finding* f = only_rule(fs, "region-locks");
+  ASSERT_NE(f, nullptr);
+  EXPECT_NE(f->message.find("tick -> with_lock -> std::mutex [locks]"),
+            std::string::npos)
+      << f->message;
+}
+
+TEST(SimdlintEffects, HostIoTwoCallsDeepNamesEveryFrame) {
+  const auto fs = effects(
+      {{"src/simd/a.cpp",
+        "namespace simdts::simd {\n"
+        "void read_file() { std::ifstream in; }\n"
+        "void tick() { read_file(); }\n"
+        "}\n"}},
+      "region lockstep simdts::simd::tick\n");
+  const Finding* f = only_rule(fs, "region-io");
+  ASSERT_NE(f, nullptr);
+  EXPECT_NE(f->message.find("tick -> read_file -> ifstream [does-io]"),
+            std::string::npos)
+      << f->message;
+}
+
+TEST(SimdlintEffects, NondetTwoCallsDeepNamesEveryFrame) {
+  const auto fs = effects(
+      {{"src/simd/a.cpp",
+        "namespace simdts::simd {\n"
+        "int roll() { return std::rand(); }\n"
+        "int tick() { return roll(); }\n"
+        "}\n"}},
+      "region lockstep simdts::simd::tick\n");
+  const Finding* f = only_rule(fs, "region-nondet");
+  ASSERT_NE(f, nullptr);
+  EXPECT_NE(f->message.find("tick -> roll -> rand [nondet]"),
+            std::string::npos)
+      << f->message;
+}
+
+TEST(SimdlintEffects, UntypedThrowTwoCallsDeepNamesEveryFrame) {
+  const auto fs = effects(
+      {{"src/simd/a.cpp",
+        "namespace simdts::simd {\n"
+        "void boom() { throw std::runtime_error(\"x\"); }\n"
+        "void tick() { boom(); }\n"
+        "}\n"}},
+      "region lockstep simdts::simd::tick\n");
+  const Finding* f = only_rule(fs, "region-throws");
+  ASSERT_NE(f, nullptr);
+  EXPECT_NE(
+      f->message.find("tick -> boom -> throw runtime_error [throws-untyped]"),
+      std::string::npos)
+      << f->message;
+}
+
+TEST(SimdlintEffects, TypedErrorThrowsAreAllowedInLockstepRegions) {
+  // The repo convention: classes ending in "Error" are the typed, documented
+  // abort path — only *untyped* throws are forbidden in lockstep code.
+  const auto fs = effects(
+      {{"src/simd/a.cpp",
+        "namespace simdts::simd {\n"
+        "void boom() { throw ConfigError(\"x\", \"ctx\"); }\n"
+        "void tick() { boom(); }\n"
+        "}\n"}},
+      "region lockstep simdts::simd::tick\n");
+  EXPECT_EQ(only_rule(fs, "region-throws"), nullptr);
+  EXPECT_TRUE(fs.empty());
+}
+
+TEST(SimdlintEffects, MutualRecursionNamesTheCycleClosure) {
+  const auto fs = effects(
+      {{"src/search/a.cpp",
+        "namespace simdts::search {\n"
+        "void pong(int n);\n"
+        "void ping(int n) { pong(n - 1); }\n"
+        "void pong(int n) { ping(n - 1); }\n"
+        "void tick() { ping(8); }\n"
+        "}\n"}},
+      "region lockstep simdts::search::tick\n");
+  const Finding* f = only_rule(fs, "region-recursion");
+  ASSERT_NE(f, nullptr);
+  EXPECT_NE(
+      f->message.find("tick -> ping -> pong -> ping [unbounded-recursion]"),
+      std::string::npos)
+      << f->message;
+}
+
+TEST(SimdlintEffects, NoexceptReachingAThrowIsATerminateHazard) {
+  const auto fs = effects(
+      {{"src/lb/a.cpp",
+        "namespace simdts::lb {\n"
+        "void may_throw(int x) { if (x) throw ConfigError(\"b\", \"c\"); }\n"
+        "void shutdown() noexcept { may_throw(1); }\n"
+        "}\n"}},
+      "");
+  const Finding* f = only_rule(fs, "noexcept-throws");
+  ASSERT_NE(f, nullptr);
+  EXPECT_NE(f->message.find("'simdts::lb::shutdown'"), std::string::npos)
+      << f->message;
+  EXPECT_NE(
+      f->message.find("shutdown -> may_throw -> throw ConfigError [throws]"),
+      std::string::npos)
+      << f->message;
+  // Mutation: a try block in the noexcept body stops throw propagation.
+  EXPECT_TRUE(
+      effects(
+          {{"src/lb/a.cpp",
+            "namespace simdts::lb {\n"
+            "void may_throw(int x) { if (x) throw ConfigError(\"b\", \"c\"); "
+            "}\n"
+            "void shutdown() noexcept { try { may_throw(1); } catch (...) {} "
+            "}\n"
+            "}\n"}},
+          "")
+          .empty());
+}
+
+TEST(SimdlintEffects, SerialRegionsOnlyForbidNondeterminism) {
+  const std::vector<std::pair<std::string, std::string>> sources = {
+      {"src/service/a.cpp",
+       "namespace simdts::service {\n"
+       "void plan(std::vector<int>& v) { v.push_back(std::rand()); }\n"
+       "}\n"}};
+  const auto fs = effects(sources, "region serial simdts::service::plan\n");
+  EXPECT_NE(only_rule(fs, "region-nondet"), nullptr);
+  EXPECT_EQ(only_rule(fs, "region-allocates"), nullptr);
+  // The same body under a lockstep declaration trips both rules.
+  const auto strict =
+      effects(sources, "region lockstep simdts::service::plan\n");
+  EXPECT_NE(only_rule(strict, "region-nondet"), nullptr);
+  EXPECT_NE(only_rule(strict, "region-allocates"), nullptr);
+}
+
+TEST(SimdlintEffects, AssumeStripsTheEffectAndGoesStaleWhenItVanishes) {
+  const std::string conf =
+      "region lockstep simdts::lb::tick\n"
+      "assume allocates simdts::lb::stage\n";
+  // The assumed summary stops propagation at stage: tick is clean.
+  EXPECT_TRUE(effects({{"src/lb/a.cpp",
+                        "namespace simdts::lb {\n"
+                        "void stage(std::vector<int>& v) { v.push_back(1); }\n"
+                        "void tick(std::vector<int>& v) { stage(v); }\n"
+                        "}\n"}},
+                      conf)
+                  .empty());
+  // Mutation: stage no longer allocates — the entry must rot loudly.
+  const auto fs = effects({{"src/lb/a.cpp",
+                            "namespace simdts::lb {\n"
+                            "void stage(std::vector<int>& v) { v.clear(); }\n"
+                            "void tick(std::vector<int>& v) { stage(v); }\n"
+                            "}\n"}},
+                          conf);
+  const Finding* f = only_rule(fs, "stale-assume");
+  ASSERT_NE(f, nullptr);
+  EXPECT_EQ(f->path, "tools/simdlint/effects.conf");
+  EXPECT_EQ(f->line, 2u);
+}
+
+TEST(SimdlintEffects, EffectOkAbsolvesTheNextLineAndGoesStaleWhenUnused) {
+  const std::string conf = "region lockstep simdts::lb::tick\n";
+  // Marker on the line above the push_back absolves exactly that use.
+  EXPECT_TRUE(
+      effects({{"src/lb/a.cpp",
+                "namespace simdts::lb {\n"
+                "void stage(std::vector<int>& v) {\n"
+                "  // SIMDLINT" "-EFFECT-OK(allocates) persistent scratch\n"
+                "  v.push_back(1);\n"
+                "}\n"
+                "void tick(std::vector<int>& v) { stage(v); }\n"
+                "}\n"}},
+               conf)
+          .empty());
+  // Mutation: marker stranded two lines above — the allocation fires AND
+  // the marker is reported stale.
+  const auto fs =
+      effects({{"src/lb/a.cpp",
+                "namespace simdts::lb {\n"
+                "void stage(std::vector<int>& v) {\n"
+                "  // SIMDLINT" "-EFFECT-OK(allocates) stranded marker\n"
+                "  int unrelated = 0;\n"
+                "  v.push_back(unrelated);\n"
+                "}\n"
+                "void tick(std::vector<int>& v) { stage(v); }\n"
+                "}\n"}},
+               conf);
+  EXPECT_NE(only_rule(fs, "region-allocates"), nullptr);
+  const Finding* stale = only_rule(fs, "stale-effect-ok");
+  ASSERT_NE(stale, nullptr);
+  EXPECT_EQ(stale->line, 3u);
+}
+
+TEST(SimdlintEffects, InlineRegionMarkersAttachAndGoStaleWhenOrphaned) {
+  // A marker directly above a definition makes it a root with no conf entry.
+  const auto fs = effects({{"src/lb/a.cpp",
+                            "namespace simdts::lb {\n"
+                            "// SIMDLINT" "-REGION(lockstep)\n"
+                            "void tick(std::vector<int>& v) {\n"
+                            "  v.push_back(1);\n"
+                            "}\n"
+                            "}\n"}},
+                          "");
+  EXPECT_NE(only_rule(fs, "region-allocates"), nullptr);
+  // Mutation: a marker floating in the middle of a body attaches to nothing.
+  const auto orphaned = effects({{"src/lb/a.cpp",
+                                  "namespace simdts::lb {\n"
+                                  "void tick(std::vector<int>& v) {\n"
+                                  "  v.clear();\n"
+                                  "  // SIMDLINT" "-REGION(lockstep)\n"
+                                  "  v.clear();\n"
+                                  "}\n"
+                                  "}\n"}},
+                                "");
+  const Finding* f = only_rule(orphaned, "stale-region");
+  ASSERT_NE(f, nullptr);
+  EXPECT_EQ(f->line, 4u);
+}
+
+TEST(SimdlintEffects, StaleConfRegionsFireOnFullRunsOnlyAndConfErrorsAlways) {
+  const std::vector<std::pair<std::string, std::string>> sources = {
+      {"src/lb/a.cpp",
+       "namespace simdts::lb {\nvoid tick() {}\n}\n"}};
+  const std::string conf = "region lockstep simdts::lb::gone\n";
+  const auto fs = effects(sources, conf);
+  const Finding* f = only_rule(fs, "stale-region");
+  ASSERT_NE(f, nullptr);
+  EXPECT_EQ(f->path, "tools/simdlint/effects.conf");
+  // Subset runs (--changed-files / explicit paths) legitimately see only a
+  // slice of the tree: conf-wide staleness must stay quiet there.
+  EXPECT_TRUE(effects(sources, conf, /*subset=*/true).empty());
+  // Malformed directives are findings in both modes.
+  EXPECT_NE(only_rule(effects(sources, "regoin lockstep x\n", true),
+                      "effects-conf-error"),
+            nullptr);
+}
+
+TEST(SimdlintRules, EffectCatalogCoversEveryCrossTuRule) {
+  const auto catalog = simdlint::effect_rule_catalog();
+  std::vector<std::string> ids;
+  ids.reserve(catalog.size());
+  for (const auto& [id, desc] : catalog) ids.push_back(id);
+  for (const char* expected :
+       {"region-allocates", "region-locks", "region-io", "region-nondet",
+        "region-throws", "region-recursion", "noexcept-throws", "stale-region",
+        "stale-assume", "stale-effect-ok", "effects-conf-error"}) {
+    EXPECT_NE(std::find(ids.begin(), ids.end(), expected), ids.end())
+        << expected;
+  }
+}
+
+TEST(SimdlintReport, SarifReportCarriesRulesResultsAndFingerprints) {
+  const auto fs = active("src/a.cpp", "int x = std::rand();\n");
+  std::ostringstream os;
+  simdlint::sarif_report(os, fs, simdlint::tally(fs, 1));
+  const std::string out = os.str();
+  EXPECT_NE(out.find("\"version\": \"2.1.0\""), std::string::npos);
+  EXPECT_NE(out.find("\"id\": \"no-rand\""), std::string::npos);
+  EXPECT_NE(out.find("\"level\": \"error\""), std::string::npos);
+  EXPECT_NE(out.find("simdlintFingerprint/v1"), std::string::npos);
 }
 
 }  // namespace

@@ -62,7 +62,8 @@ class Parser {
     ValuePtr v = value();
     skip_ws();
     if (!v) {
-      error = "parse error at byte " + std::to_string(pos_);
+      error = detail_.empty() ? "parse error" : detail_;
+      error += " at byte " + std::to_string(pos_);
       return nullptr;
     }
     if (pos_ != text_.size()) {
@@ -127,6 +128,14 @@ class Parser {
       if (!key || !consume(':')) return nullptr;
       ValuePtr val = value();
       if (!val) return nullptr;
+      // Duplicate keys would make find() silently prefer the first writer
+      // and the delta flattener report whichever survived — reject outright.
+      for (const auto& [existing, unused] : v->object) {
+        if (existing == key->string) {
+          detail_ = "duplicate key \"" + key->string + "\"";
+          return nullptr;
+        }
+      }
       v->object.emplace_back(std::move(key->string), std::move(val));
       if (consume(',')) continue;
       if (consume('}')) return v;
@@ -208,6 +217,7 @@ class Parser {
   }
 
   std::string text_;
+  std::string detail_;  // specific rejection reason, e.g. the duplicated key
   std::size_t pos_ = 0;
 };
 

@@ -1,0 +1,686 @@
+#include "simdlint/effects.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "simdlint/symbols.hpp"
+
+namespace simdlint {
+
+namespace {
+
+const std::set<std::string>& valid_effects() {
+  static const std::set<std::string> kEffects = {
+      "allocates", "locks",  "does-io", "nondet",
+      "throws-untyped", "throws", "unbounded-recursion",
+  };
+  return kEffects;
+}
+
+// Call-shaped intrinsics, consulted only when no repo definition matches
+// (repo code is analyzed, external code is table-driven).
+const std::set<std::string>& alloc_member_calls() {
+  static const std::set<std::string> kNames = {
+      "push_back", "emplace_back", "resize",  "reserve", "shrink_to_fit",
+      "insert",    "emplace",      "emplace_front", "push_front", "assign",
+      "append",    "str",          "substr",  "allocate",
+  };
+  return kNames;
+}
+
+const std::set<std::string>& alloc_free_calls() {
+  static const std::set<std::string> kNames = {
+      "malloc",      "calloc",      "realloc", "aligned_alloc",
+      "strdup",      "make_unique", "make_shared", "to_string",
+  };
+  return kNames;
+}
+
+const std::set<std::string>& lock_member_calls() {
+  static const std::set<std::string> kNames = {
+      "lock",      "unlock",    "try_lock", "lock_shared", "unlock_shared",
+      "fetch_add", "fetch_sub", "fetch_and", "fetch_or",   "fetch_xor",
+      "compare_exchange_weak", "compare_exchange_strong",
+      "notify_one", "notify_all", "wait", "exchange",
+  };
+  return kNames;
+}
+
+const std::set<std::string>& lock_free_calls() {
+  static const std::set<std::string> kNames = {"atomic_thread_fence"};
+  return kNames;
+}
+
+// Method names so ubiquitous across std:: containers, atomics, and smart
+// pointers that a member call through them must never resolve to repo
+// definitions: `counts_.size()` is the vector's size, not every repo
+// function named `size`.  Member calls on these names take their effect (if
+// any) from the intrinsic tables alone; bare calls on these names only
+// resolve within the caller's own class.
+const std::set<std::string>& ubiquitous_member_calls() {
+  static const std::set<std::string> kNames = {
+      "size",   "empty",    "begin",     "end",      "cbegin",   "cend",
+      "rbegin", "rend",     "data",      "at",       "front",    "back",
+      "clear",  "count",    "find",      "contains", "load",     "store",
+      "get",    "reset",    "release",   "swap",     "top",      "pop",
+      "pop_back", "pop_front", "c_str",  "str",      "length",   "value",
+      "has_value", "substr", "compare",  "erase",    "first",    "second",
+      "fill",   "min",      "max",       "test",
+  };
+  return kNames;
+}
+
+/// True when `qualified` ends with `pattern` at a component boundary.
+bool suffix_match(const std::string& qualified, const std::string& pattern) {
+  if (pattern.empty() || qualified.size() < pattern.size()) return false;
+  if (qualified.compare(qualified.size() - pattern.size(), pattern.size(),
+                        pattern) != 0) {
+    return false;
+  }
+  if (qualified.size() == pattern.size()) return true;
+  const std::size_t at = qualified.size() - pattern.size();
+  return at >= 2 && qualified.compare(at - 2, 2, "::") == 0;
+}
+
+struct Edge {
+  std::size_t to = 0;
+  std::size_t line = 0;
+  std::set<std::string> blocked;  // effects absolved by SIMDLINT-EFFECT-OK
+  // `x.foo()` inside some other class's `foo`: the wrapper-delegation
+  // pattern.  Name-based resolution links every same-named wrapper to every
+  // other, which would fabricate recursion cycles, so delegation edges
+  // carry effects but are invisible to the SCC pass.
+  bool delegation = false;
+};
+
+struct Provenance {
+  bool intrinsic = false;
+  std::string detail;     // intrinsic: what to print in the witness terminal
+  std::size_t callee = 0;  // call: the function the effect came from
+};
+
+struct Node {
+  FunctionDef def;
+  std::size_t file = 0;  // index into `files`
+  std::vector<Edge> edges;
+  std::set<std::string> effects;
+  std::set<std::string> assumed;  // stripped from the exported summary
+  std::map<std::string, Provenance> prov;
+};
+
+// An EFFECT-OK directive instance; `used` flips when it absolves something.
+struct EffectOk {
+  std::size_t file = 0;
+  std::size_t line = 0;
+  std::string effect;
+  bool used = false;
+};
+
+Finding effect_finding(const std::string& rule, const std::string& path,
+                       std::size_t line, std::string message,
+                       std::string excerpt) {
+  Finding f;
+  f.rule = rule;
+  f.path = path;
+  f.line = line;
+  f.message = std::move(message);
+  f.excerpt = std::move(excerpt);
+  return f;
+}
+
+std::string rule_for_effect(const std::string& effect) {
+  if (effect == "allocates") return "region-allocates";
+  if (effect == "locks") return "region-locks";
+  if (effect == "does-io") return "region-io";
+  if (effect == "nondet") return "region-nondet";
+  if (effect == "throws-untyped") return "region-throws";
+  if (effect == "unbounded-recursion") return "region-recursion";
+  return "region-" + effect;
+}
+
+/// The call-path witness for `effect` starting at node `root`: short names
+/// joined with " -> ", terminated by the intrinsic detail (or the cycle
+/// closure, for recursion).
+std::string witness(const std::vector<Node>& nodes, std::size_t root,
+                    const std::string& effect) {
+  std::ostringstream os;
+  std::set<std::size_t> visited;
+  std::size_t cur = root;
+  for (int depth = 0; depth < 64; ++depth) {
+    os << nodes[cur].def.short_name;
+    visited.insert(cur);
+    const auto it = nodes[cur].prov.find(effect);
+    if (it == nodes[cur].prov.end()) break;
+    if (it->second.intrinsic) {
+      os << " -> " << it->second.detail;
+      break;
+    }
+    const std::size_t next = it->second.callee;
+    if (visited.count(next) > 0) {
+      os << " -> " << nodes[next].def.short_name;
+      break;
+    }
+    os << " -> ";
+    cur = next;
+  }
+  os << " [" << effect << "]";
+  return os.str();
+}
+
+// Tarjan strongly-connected components, iterative.  SCCs of size > 1 (or
+// with a self-edge) seed the unbounded-recursion effect.
+std::vector<std::vector<std::size_t>> sccs(const std::vector<Node>& nodes) {
+  const std::size_t n = nodes.size();
+  std::vector<int> index(n, -1);
+  std::vector<int> low(n, 0);
+  std::vector<bool> on_stack(n, false);
+  std::vector<std::size_t> stack;
+  std::vector<std::vector<std::size_t>> out;
+  int next_index = 0;
+
+  struct Frame {
+    std::size_t v;
+    std::size_t edge = 0;
+  };
+  for (std::size_t start = 0; start < n; ++start) {
+    if (index[start] != -1) continue;
+    std::vector<Frame> frames{{start, 0}};
+    index[start] = low[start] = next_index++;
+    stack.push_back(start);
+    on_stack[start] = true;
+    while (!frames.empty()) {
+      Frame& f = frames.back();
+      const std::size_t v = f.v;
+      if (f.edge < nodes[v].edges.size()) {
+        const Edge& edge = nodes[v].edges[f.edge++];
+        if (edge.delegation) continue;
+        const std::size_t w = edge.to;
+        if (index[w] == -1) {
+          index[w] = low[w] = next_index++;
+          stack.push_back(w);
+          on_stack[w] = true;
+          frames.push_back({w, 0});
+        } else if (on_stack[w]) {
+          low[v] = std::min(low[v], index[w]);
+        }
+      } else {
+        if (low[v] == index[v]) {
+          std::vector<std::size_t> comp;
+          while (true) {
+            const std::size_t w = stack.back();
+            stack.pop_back();
+            on_stack[w] = false;
+            comp.push_back(w);
+            if (w == v) break;
+          }
+          out.push_back(std::move(comp));
+        }
+        frames.pop_back();
+        if (!frames.empty()) {
+          low[frames.back().v] = std::min(low[frames.back().v], low[v]);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+EffectConfig parse_effects_conf(std::string path, const std::string& text) {
+  EffectConfig config;
+  config.path = std::move(path);
+  std::istringstream in(text);
+  std::string raw_line;
+  std::size_t line = 0;
+  while (std::getline(in, raw_line)) {
+    ++line;
+    std::string entry = raw_line;
+    const std::size_t hash = entry.find('#');
+    if (hash != std::string::npos) entry.resize(hash);
+    std::istringstream fields(entry);
+    std::vector<std::string> words;
+    std::string w;
+    while (fields >> w) words.push_back(w);
+    if (words.empty()) continue;
+    auto trimmed = [&raw_line] {
+      std::string s = raw_line;
+      while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) {
+        s.erase(s.begin());
+      }
+      while (!s.empty() && (s.back() == ' ' || s.back() == '\t' ||
+                            s.back() == '\r')) {
+        s.pop_back();
+      }
+      return s;
+    };
+    if (words[0] == "region" && words.size() == 3 &&
+        (words[1] == "lockstep" || words[1] == "serial")) {
+      config.regions.push_back(RegionDecl{words[1], words[2], line, trimmed()});
+    } else if (words[0] == "assume" && words.size() == 3 &&
+               valid_effects().count(words[1]) > 0) {
+      config.assumes.push_back(AssumeDecl{words[1], words[2], line, trimmed()});
+    } else {
+      config.errors.push_back(ConfError{
+          "malformed directive (expected 'region <lockstep|serial> "
+          "<suffix>' or 'assume <effect> <suffix>')",
+          line, trimmed()});
+    }
+  }
+  return config;
+}
+
+std::vector<std::pair<std::string, std::string>> effect_rule_catalog() {
+  return {
+      {"region-allocates",
+       "a lockstep-region root reaches a heap allocation (new, make_unique, "
+       "vector growth)"},
+      {"region-locks",
+       "a lockstep-region root reaches a mutex, condition variable, or "
+       "atomic read-modify-write"},
+      {"region-io",
+       "a lockstep-region root reaches host I/O (streams, FILE*, environment)"},
+      {"region-nondet",
+       "a region root reaches a nondeterminism source (rand, wall clock, "
+       "pointer order)"},
+      {"region-throws",
+       "a lockstep-region root reaches an untyped throw (non-simdts::Error)"},
+      {"region-recursion",
+       "a lockstep-region root reaches a call-graph cycle (unbounded "
+       "recursion has unbounded per-lane divergence)"},
+      {"noexcept-throws",
+       "a noexcept function in src/ can reach a throw — std::terminate "
+       "instead of a typed error"},
+      {"stale-region",
+       "a region declaration (conf entry or inline SIMDLINT-REGION marker) "
+       "matches no function definition"},
+      {"stale-assume",
+       "an effects.conf assume entry names a function that no longer has "
+       "the assumed effect"},
+      {"stale-effect-ok",
+       "a SIMDLINT-EFFECT-OK directive absolved no intrinsic or call edge"},
+      {"effects-conf-error", "effects.conf contains a malformed directive"},
+  };
+}
+
+std::vector<Finding> find_effect_findings(const std::vector<SourceFile>& files,
+                                          const EffectConfig& config,
+                                          bool subset) {
+  std::vector<Finding> out;
+
+  for (const ConfError& e : config.errors) {
+    out.push_back(
+        effect_finding("effects-conf-error", config.path, e.line,
+                       e.message, e.text));
+  }
+
+  // -------------------------------------------------------------------------
+  // Extraction: every function of every parsed file, in (file, source) order.
+  // -------------------------------------------------------------------------
+  std::vector<Node> nodes;
+  for (std::size_t fi = 0; fi < files.size(); ++fi) {
+    for (FunctionDef& fn : extract_functions(files[fi])) {
+      Node node;
+      node.def = std::move(fn);
+      node.file = fi;
+      nodes.push_back(std::move(node));
+    }
+  }
+
+  // Inline REGION markers that attached to no function are stale (this is an
+  // intra-file property, so it survives subset runs).
+  for (std::size_t fi = 0; fi < files.size(); ++fi) {
+    std::set<std::size_t> consumed;
+    for (const Node& n : nodes) {
+      if (n.file != fi) continue;
+      consumed.insert(n.def.region_mark_lines.begin(),
+                      n.def.region_mark_lines.end());
+    }
+    for (const auto& [line, kinds] : files[fi].region_marks) {
+      if (consumed.count(line) > 0) continue;
+      out.push_back(effect_finding(
+          "stale-region", files[fi].path, line,
+          "SIMDLINT-REGION marker attached to no function definition; move "
+          "it onto the signature or remove it",
+          files[fi].line_text(line)));
+    }
+  }
+
+  // Name indices for resolution.
+  std::map<std::string, std::vector<std::size_t>> by_last_name;
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    by_last_name[nodes[i].def.short_name].push_back(i);
+  }
+
+  // EFFECT-OK directive instances, for absolution + staleness.
+  std::vector<EffectOk> oks;
+  for (std::size_t fi = 0; fi < files.size(); ++fi) {
+    for (const auto& [line, effects] : files[fi].effect_ok) {
+      for (const std::string& e : effects) {
+        oks.push_back(EffectOk{fi, line, e, false});
+      }
+    }
+  }
+  // A directive covers its own line and the next.
+  auto absolve = [&oks](std::size_t file, std::size_t line,
+                        const std::string& effect, bool mark_used) {
+    bool hit = false;
+    for (EffectOk& ok : oks) {
+      if (ok.file != file || ok.effect != effect) continue;
+      if (ok.line == line || ok.line + 1 == line) {
+        hit = true;
+        if (mark_used) ok.used = true;
+      }
+    }
+    return hit;
+  };
+
+  // -------------------------------------------------------------------------
+  // Call resolution: edges into the repo graph, or intrinsic-table seeds.
+  // -------------------------------------------------------------------------
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    Node& node = nodes[i];
+    for (const CallSite& call : node.def.calls) {
+      std::vector<std::size_t> candidates;
+      if (!call.std_qualified) {
+        if (call.written.find("::") != std::string::npos) {
+          for (std::size_t j = 0; j < nodes.size(); ++j) {
+            if (suffix_match(nodes[j].def.qualified, call.written)) {
+              candidates.push_back(j);
+            }
+          }
+        } else {
+          const auto it = by_last_name.find(call.last_name);
+          if (it != by_last_name.end()) candidates = it->second;
+        }
+        // A receiver call (`p.foo(...)`) targets an instance member: static
+        // functions only dispatch by qualified name, so they never match.
+        if (call.has_receiver) {
+          candidates.erase(
+              std::remove_if(candidates.begin(), candidates.end(),
+                             [&](std::size_t j) {
+                               return nodes[j].def.is_static;
+                             }),
+              candidates.end());
+        }
+        // A member call with an explicit receiver other than `this` is a
+        // call on *some other object* — never the caller recursing.
+        if (call.has_receiver && !call.receiver_this) {
+          candidates.erase(
+              std::remove(candidates.begin(), candidates.end(), i),
+              candidates.end());
+        }
+        if (call.written.find("::") == std::string::npos &&
+            ubiquitous_member_calls().count(call.last_name) > 0) {
+          if (call.has_receiver && !call.receiver_this) {
+            // `v.size()` names the container's API, not repo code.
+            candidates.clear();
+          } else {
+            // Bare or this-> calls stay honest for real recursion, but only
+            // within the caller's own class; a free function's bare `size()`
+            // is std/ADL, not a method of some unrelated class.
+            const std::string& q = node.def.qualified;
+            const std::size_t cut = q.rfind("::");
+            if (cut == std::string::npos) {
+              candidates.clear();
+            } else {
+              const std::string prefix = q.substr(0, cut + 2);
+              candidates.erase(
+                  std::remove_if(candidates.begin(), candidates.end(),
+                                 [&](std::size_t j) {
+                                   return nodes[j].def.qualified.compare(
+                                              0, prefix.size(), prefix) != 0;
+                                 }),
+                  candidates.end());
+            }
+          }
+        }
+      }
+      if (!candidates.empty()) {
+        for (const std::size_t j : candidates) {
+          Edge e;
+          e.to = j;
+          e.line = call.line;
+          e.delegation = call.has_receiver && !call.receiver_this &&
+                         node.def.short_name == call.last_name;
+          for (const std::string& eff : valid_effects()) {
+            if (absolve(node.file, call.line, eff, /*mark_used=*/false)) {
+              e.blocked.insert(eff);
+            }
+          }
+          node.edges.push_back(std::move(e));
+        }
+        continue;
+      }
+      // No repo definition: consult the intrinsic tables.
+      std::string effect;
+      std::string detail;
+      if (call.has_receiver && alloc_member_calls().count(call.last_name) > 0) {
+        effect = "allocates";
+        detail = (call.receiver.empty() ? std::string()
+                                        : call.receiver + ".") +
+                 call.last_name;
+      } else if (call.has_receiver &&
+                 lock_member_calls().count(call.last_name) > 0) {
+        effect = "locks";
+        detail = (call.receiver.empty() ? std::string()
+                                        : call.receiver + ".") +
+                 call.last_name;
+      } else if (!call.has_receiver &&
+                 alloc_free_calls().count(call.last_name) > 0) {
+        effect = "allocates";
+        detail = call.written;
+      } else if (!call.has_receiver &&
+                 lock_free_calls().count(call.last_name) > 0) {
+        effect = "locks";
+        detail = call.written;
+      }
+      if (!effect.empty()) {
+        node.def.intrinsics.push_back({effect, detail, call.line});
+      }
+    }
+  }
+
+  // Seed effects from intrinsics, minus EFFECT-OK absolutions.
+  for (Node& node : nodes) {
+    for (const IntrinsicUse& use : node.def.intrinsics) {
+      if (absolve(node.file, use.line, use.effect, /*mark_used=*/true)) {
+        continue;
+      }
+      if (node.effects.insert(use.effect).second) {
+        Provenance p;
+        p.intrinsic = true;
+        p.detail = use.detail;
+        node.prov[use.effect] = std::move(p);
+      }
+    }
+  }
+
+  // Recursion seeds: call-graph SCCs.
+  for (const std::vector<std::size_t>& comp : sccs(nodes)) {
+    bool cyclic = comp.size() > 1;
+    if (!cyclic) {
+      for (const Edge& e : nodes[comp[0]].edges) {
+        if (e.to == comp[0] && !e.delegation) cyclic = true;
+      }
+    }
+    if (!cyclic) continue;
+    const std::set<std::size_t> members(comp.begin(), comp.end());
+    for (const std::size_t m : comp) {
+      if (!nodes[m].effects.insert("unbounded-recursion").second) continue;
+      const Edge* best = nullptr;
+      for (const Edge& e : nodes[m].edges) {
+        if (e.delegation || members.count(e.to) == 0) continue;
+        if (best == nullptr || e.line < best->line) best = &e;
+      }
+      Provenance p;
+      if (best != nullptr) {
+        p.callee = best->to;
+      } else {
+        p.intrinsic = true;
+        p.detail = "(self)";
+      }
+      nodes[m].prov["unbounded-recursion"] = std::move(p);
+    }
+  }
+
+  // Assume entries strip effects from exported summaries.
+  std::vector<std::vector<std::size_t>> assume_matches(config.assumes.size());
+  for (std::size_t a = 0; a < config.assumes.size(); ++a) {
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+      if (suffix_match(nodes[i].def.qualified, config.assumes[a].pattern)) {
+        nodes[i].assumed.insert(config.assumes[a].effect);
+        assume_matches[a].push_back(i);
+      }
+    }
+  }
+
+  // -------------------------------------------------------------------------
+  // Bottom-up propagation to a fixpoint.  Deterministic sweep order makes
+  // provenance (and therefore witnesses) byte-stable.
+  // -------------------------------------------------------------------------
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+      for (const Edge& e : nodes[i].edges) {
+        const Node& callee = nodes[e.to];
+        for (const std::string& eff : callee.effects) {
+          if (callee.assumed.count(eff) > 0) continue;
+          if (e.blocked.count(eff) > 0) continue;
+          if ((eff == "throws" || eff == "throws-untyped") &&
+              nodes[i].def.has_try) {
+            continue;  // a try block in the caller contains callee throws
+          }
+          if (nodes[i].effects.insert(eff).second) {
+            Provenance p;
+            p.callee = e.to;
+            nodes[i].prov[eff] = std::move(p);
+            changed = true;
+          }
+        }
+      }
+    }
+  }
+
+  // Blocked-edge EFFECT-OK directives count as used when the callee really
+  // exports the blocked effect (otherwise they absolved nothing).
+  for (const Node& node : nodes) {
+    for (const Edge& e : node.edges) {
+      for (const std::string& eff : e.blocked) {
+        const Node& callee = nodes[e.to];
+        if (callee.effects.count(eff) > 0 && callee.assumed.count(eff) == 0) {
+          absolve(node.file, e.line, eff, /*mark_used=*/true);
+        }
+      }
+    }
+  }
+
+  // Stale assume entries: matched nothing, or nothing that has the effect.
+  if (!subset) {
+    for (std::size_t a = 0; a < config.assumes.size(); ++a) {
+      const AssumeDecl& decl = config.assumes[a];
+      bool live = false;
+      for (const std::size_t i : assume_matches[a]) {
+        if (nodes[i].effects.count(decl.effect) > 0) live = true;
+      }
+      if (!live) {
+        out.push_back(effect_finding(
+            "stale-assume", config.path, decl.line,
+            assume_matches[a].empty()
+                ? "assume entry matches no function definition; remove it"
+                : "assumed effect '" + decl.effect +
+                      "' is no longer present in '" + decl.pattern +
+                      "'; remove the entry",
+            decl.text));
+      }
+    }
+  }
+
+  for (const EffectOk& ok : oks) {
+    if (ok.used) continue;
+    out.push_back(effect_finding(
+        "stale-effect-ok", files[ok.file].path, ok.line,
+        "SIMDLINT-EFFECT-OK(" + ok.effect +
+            ") absolved no intrinsic or call edge; remove it",
+        files[ok.file].line_text(ok.line)));
+  }
+
+  // -------------------------------------------------------------------------
+  // Region roots and their forbidden-effect rules.
+  // -------------------------------------------------------------------------
+  static const std::set<std::string> kLockstepForbidden = {
+      "allocates", "locks", "does-io", "nondet", "throws-untyped",
+      "unbounded-recursion"};
+  static const std::set<std::string> kSerialForbidden = {"nondet"};
+
+  // kind -> root node indices, from inline markers and conf entries.
+  std::vector<std::pair<std::string, std::size_t>> roots;
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    for (const std::string& kind : nodes[i].def.regions) {
+      if (kind == "lockstep" || kind == "serial") {
+        roots.emplace_back(kind, i);
+      } else {
+        out.push_back(effect_finding(
+            "stale-region", files[nodes[i].file].path, nodes[i].def.line,
+            "unknown region kind '" + kind +
+                "' (expected lockstep or serial)",
+            files[nodes[i].file].line_text(nodes[i].def.line)));
+      }
+    }
+  }
+  for (const RegionDecl& decl : config.regions) {
+    bool matched = false;
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+      if (suffix_match(nodes[i].def.qualified, decl.pattern)) {
+        roots.emplace_back(decl.kind, i);
+        matched = true;
+      }
+    }
+    if (!matched && !subset) {
+      out.push_back(effect_finding(
+          "stale-region", config.path, decl.line,
+          "region entry matches no function definition; remove it or fix "
+          "the suffix",
+          decl.text));
+    }
+  }
+  std::sort(roots.begin(), roots.end());
+  roots.erase(std::unique(roots.begin(), roots.end()), roots.end());
+
+  for (const auto& [kind, i] : roots) {
+    const Node& root = nodes[i];
+    const std::set<std::string>& forbidden =
+        kind == "lockstep" ? kLockstepForbidden : kSerialForbidden;
+    for (const std::string& eff : forbidden) {
+      if (root.effects.count(eff) == 0) continue;
+      if (root.assumed.count(eff) > 0) continue;
+      out.push_back(effect_finding(
+          rule_for_effect(eff), files[root.file].path, root.def.line,
+          kind + " region '" + root.def.qualified + "' reaches " + eff +
+              ": " + witness(nodes, i, eff),
+          files[root.file].line_text(root.def.line)));
+    }
+  }
+
+  // noexcept contract: a noexcept function in src/ reaching any throw is a
+  // std::terminate, not a typed error.
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    const Node& node = nodes[i];
+    if (!node.def.is_noexcept) continue;
+    if (!path_in_dir(node.def.path, "src")) continue;
+    if (node.effects.count("throws") == 0) continue;
+    if (node.assumed.count("throws") > 0) continue;
+    out.push_back(effect_finding(
+        "noexcept-throws", files[node.file].path, node.def.line,
+        "noexcept function '" + node.def.qualified +
+            "' can reach a throw: " + witness(nodes, i, "throws"),
+        files[node.file].line_text(node.def.line)));
+  }
+
+  return out;
+}
+
+}  // namespace simdlint

@@ -19,6 +19,9 @@ constexpr std::pair<const char*, int> kModuleRanks[] = {
     {"fault", 4},    {"synthetic", 5}, {"puzzle", 5}, {"queens", 5},
     {"tsp", 5},      {"mimd", 5},      {"vec", 6},    {"lb", 7},
     {"baselines", 8}, {"runtime", 9},  {"analysis", 10}, {"service", 10},
+    // Scoped entry for the standalone tooling: tools/ may depend on any
+    // library layer, but no src/ module may ever include tools/ headers.
+    {"tools", 99},
 };
 
 }  // namespace
@@ -30,15 +33,52 @@ std::vector<IncludeEdge> quoted_includes(const SourceFile& file) {
   const std::size_t n = code.size();
   std::size_t i = 0;
   std::size_t line = 1;
+  // Directive-internal whitespace includes backslash-newline continuations:
+  // `#include \<newline>    "foo.hpp"` is one logical directive, attributed
+  // to the line the `#` sits on.
+  auto skip_ws = [&](std::size_t j) {
+    while (j < n) {
+      if (code[j] == ' ' || code[j] == '\t') {
+        ++j;
+      } else if (code[j] == '\\' && j + 1 < n && code[j + 1] == '\n') {
+        j += 2;
+      } else if (code[j] == '\\' && j + 2 < n && code[j + 1] == '\r' &&
+                 code[j + 2] == '\n') {
+        j += 3;
+      } else {
+        break;
+      }
+    }
+    return j;
+  };
+  auto at_directive_end = [&](std::size_t j) {
+    return j >= n || code[j] == '\n' || code[j] == '\r' || code[j] == ' ' ||
+           code[j] == '\t' || code[j] == '/';
+  };
+  // Nesting depth of the innermost `#if 0` region.  Includes inside a
+  // disabled block are dead text, not edges; `#else`/`#elif` directly under
+  // the `#if 0` re-enables the tail, and its closing `#endif` is absorbed.
+  int if0_depth = 0;
   while (i < n) {
-    std::size_t j = i;
-    while (j < n && (code[j] == ' ' || code[j] == '\t')) ++j;
+    std::size_t j = skip_ws(i);
     if (j < n && code[j] == '#') {
-      ++j;
-      while (j < n && (code[j] == ' ' || code[j] == '\t')) ++j;
-      if (code.compare(j, 7, "include") == 0) {
-        j += 7;
-        while (j < n && (code[j] == ' ' || code[j] == '\t')) ++j;
+      j = skip_ws(j + 1);
+      if (if0_depth > 0) {
+        if (code.compare(j, 2, "if") == 0 && (code.compare(j, 5, "ifdef") == 0 ||
+                                              code.compare(j, 6, "ifndef") == 0 ||
+                                              at_directive_end(j + 2))) {
+          ++if0_depth;
+        } else if (code.compare(j, 5, "endif") == 0) {
+          --if0_depth;
+        } else if (if0_depth == 1 && (code.compare(j, 4, "else") == 0 ||
+                                      code.compare(j, 4, "elif") == 0)) {
+          if0_depth = 0;
+        }
+      } else if (code.compare(j, 2, "if") == 0 && at_directive_end(j + 2)) {
+        const std::size_t k = skip_ws(j + 2);
+        if (k < n && code[k] == '0' && at_directive_end(k + 1)) if0_depth = 1;
+      } else if (code.compare(j, 7, "include") == 0) {
+        j = skip_ws(j + 7);
         if (j < n && code[j] == '"') {
           // The path characters are blanked in `code` (string contents), but
           // blanking preserves byte offsets, so read them back from `raw`.
@@ -87,7 +127,9 @@ class LayeringRule final : public Rule {
            "higher layer, no include between sibling domain modules";
   }
   bool applies(const std::string& path) const override {
-    return path_in_dir(path, "src");
+    // tools/ participates as the rank-99 sink: free to include any library
+    // layer, while a src/ include of "tools/..." fires as a violation.
+    return path_in_dir(path, "src") || path_in_dir(path, "tools");
   }
   void check(const SourceFile& f, std::vector<Finding>& out) const override {
     const std::string from_mod = module_of(f.path);

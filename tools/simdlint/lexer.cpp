@@ -26,14 +26,15 @@ bool is_raw_string_open(const std::string& s, std::size_t i) {
          prefix == "UR";
 }
 
-// Harvest SIMDLINT-ALLOW suppression directives — a comma-separated rule
-// list in parentheses — from one line's worth of comment text.
-void scan_allow_directives(const std::string& comment, std::size_t line,
-                           std::map<std::size_t, std::set<std::string>>& out) {
-  static const std::string kTag = "SIMDLINT-ALLOW(";
+// Harvest a SIMDLINT-<NAME>(a, b, ...) directive — a comma-separated list in
+// parentheses — from one line's worth of comment text.  Shared by the ALLOW
+// suppressions, the REGION markers, and the EFFECT-OK absolutions.
+void scan_directives(const std::string& tag, const std::string& comment,
+                     std::size_t line,
+                     std::map<std::size_t, std::set<std::string>>& out) {
   std::size_t pos = 0;
-  while ((pos = comment.find(kTag, pos)) != std::string::npos) {
-    const std::size_t open = pos + kTag.size();
+  while ((pos = comment.find(tag, pos)) != std::string::npos) {
+    const std::size_t open = pos + tag.size();
     const std::size_t close = comment.find(')', open);
     pos = open;
     if (close == std::string::npos) continue;
@@ -81,7 +82,12 @@ SourceFile SourceFile::parse(std::string path, std::string text) {
 
   auto flush_comment_line = [&] {
     if (!comment_line_text.empty()) {
-      scan_allow_directives(comment_line_text, comment_line, f.allows);
+      scan_directives("SIMDLINT-ALLOW(", comment_line_text, comment_line,
+                      f.allows);
+      scan_directives("SIMDLINT-REGION(", comment_line_text, comment_line,
+                      f.region_marks);
+      scan_directives("SIMDLINT-EFFECT-OK(", comment_line_text, comment_line,
+                      f.effect_ok);
       comment_line_text.clear();
     }
   };

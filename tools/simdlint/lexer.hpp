@@ -43,6 +43,16 @@ struct SourceFile {
   std::vector<Token> tokens;
   // line -> rule ids allowed on that line (and the next); "*" allows all.
   std::map<std::size_t, std::set<std::string>> allows;
+  // line -> region kinds ("lockstep", "serial") declared by an inline
+  // SIMDLINT-REGION comment, written with the kind parenthesized after the
+  // tag; attaches to the function definition whose signature overlaps that
+  // line (see symbols.hpp).
+  std::map<std::size_t, std::set<std::string>> region_marks;
+  // line -> effects absolved on that line and the next by an inline
+  // SIMDLINT-EFFECT-OK comment, written with the effect names parenthesized
+  // after the tag; consumed by the effect analysis (effects.hpp), which
+  // reports stale directives that absolved nothing.
+  std::map<std::size_t, std::set<std::string>> effect_ok;
   std::size_t line_count = 0;
 
   /// Lex `text`; `path` is kept verbatim for reporting and rule scoping.

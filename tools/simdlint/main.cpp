@@ -2,15 +2,18 @@
 //
 // Usage:
 //   simdlint [--repo-root DIR] [--baseline FILE] [--write-baseline FILE]
-//            [--changed-files FILE] [--json FILE|-] [--list-rules]
-//            [--verbose] [paths...]
+//            [--changed-files FILE] [--json FILE|-] [--format NAME]
+//            [--effects-conf FILE] [--list-rules] [--verbose] [paths...]
 //
 // With no paths, lints the default roots (src bench tests tools examples)
 // under the repo root.  --changed-files restricts the run to the
 // newline-separated repo-relative paths in FILE (missing/deleted and
 // non-C++ entries are skipped) — the CI lint job feeds it the PR's diff;
-// note the include-cycle pass then only sees that subset, so the full-tree
-// run behind `ctest -R lint.simdlint` remains the authoritative gate.
+// note the cross-file passes (include cycles, call-graph effects) then only
+// see that subset and conf-wide staleness checks are skipped, so the
+// full-tree run behind `ctest -R lint.simdlint` remains the authoritative
+// gate.  --format selects the stdout report: text (default), json, or sarif
+// (SARIF 2.1.0, for GitHub code-scanning upload).
 // Exit status: 0 when no *active* findings remain after SIMDLINT-ALLOW
 // suppressions and the baseline; 1 when active findings exist; 2 on usage
 // or I/O errors.  File discovery and reporting are byte-deterministic:
@@ -25,6 +28,7 @@
 #include <vector>
 
 #include "simdlint/baseline.hpp"
+#include "simdlint/effects.hpp"
 #include "simdlint/include_graph.hpp"
 #include "simdlint/lexer.hpp"
 #include "simdlint/report.hpp"
@@ -85,10 +89,23 @@ int usage(std::ostream& out, int code) {
          "                         in FILE (one per line; missing or non-C++\n"
          "                         entries are skipped)\n"
          "  --json FILE|-          write a JSON report (- for stdout)\n"
+         "  --format NAME          stdout report format: text (default),\n"
+         "                         json, or sarif (SARIF 2.1.0)\n"
+         "  --effects-conf FILE    region/assume annotations for the effect\n"
+         "                         analysis (default:\n"
+         "                         <repo-root>/tools/simdlint/effects.conf)\n"
          "  --list-rules           print the rule catalog and exit\n"
          "  --verbose              show suppressed and baselined findings\n"
          "  -h, --help             this message\n";
   return code;
+}
+
+// Findings that must be *fixed*, never grandfathered: a stale directive or
+// annotation hides future regressions, so the baseline does not apply.
+bool never_baselined(const std::string& rule) {
+  return rule == "unused-suppression" || rule == "stale-region" ||
+         rule == "stale-assume" || rule == "stale-effect-ok" ||
+         rule == "effects-conf-error";
 }
 
 }  // namespace
@@ -99,6 +116,8 @@ int main(int argc, char** argv) {
   std::string write_baseline_path;
   std::string changed_files_path;
   std::string json_path;
+  std::string effects_conf_path;
+  std::string format = "text";
   bool verbose = false;
   std::vector<std::string> inputs;
 
@@ -121,11 +140,22 @@ int main(int argc, char** argv) {
       changed_files_path = next("--changed-files");
     } else if (arg == "--json") {
       json_path = next("--json");
+    } else if (arg == "--effects-conf") {
+      effects_conf_path = next("--effects-conf");
+    } else if (arg == "--format") {
+      format = next("--format");
+    } else if (arg.compare(0, 9, "--format=") == 0) {
+      format = arg.substr(9);
     } else if (arg == "--verbose" || arg == "-v") {
       verbose = true;
     } else if (arg == "--list-rules") {
       for (const auto& rule : simdlint::default_rules()) {
         std::cout << rule->id() << "\n    " << rule->summary() << "\n";
+      }
+      std::cout << "include-cycle\n    cross-file pass: the quoted-include "
+                   "graph of src/ must stay acyclic\n";
+      for (const auto& [id, summary] : simdlint::effect_rule_catalog()) {
+        std::cout << id << "\n    " << summary << "\n";
       }
       return 0;
     } else if (arg == "-h" || arg == "--help") {
@@ -136,6 +166,10 @@ int main(int argc, char** argv) {
     } else {
       inputs.push_back(arg);
     }
+  }
+  if (format != "text" && format != "json" && format != "sarif") {
+    std::cerr << "simdlint: unknown --format '" << format << "'\n";
+    return usage(std::cerr, 2);
   }
 
   const fs::path root(repo_root);
@@ -196,14 +230,39 @@ int main(int argc, char** argv) {
                     std::make_move_iterator(file_findings.begin()),
                     std::make_move_iterator(file_findings.end()));
   }
-  // Cross-file pass: include cycles can only be seen over the whole parsed
-  // set (with --changed-files this is the subset — the full-tree ctest run
-  // stays authoritative for cycle coverage).
+  // Cross-file passes: include cycles and call-graph effects can only be
+  // seen over the whole parsed set (with --changed-files or explicit paths
+  // this is a subset — the full-tree ctest run stays authoritative, and the
+  // conf-wide staleness checks are skipped in subset mode).
+  const bool subset = !changed_files_path.empty() || !inputs.empty();
   {
     auto cycle_findings = simdlint::find_include_cycles(parsed_files);
     findings.insert(findings.end(),
                     std::make_move_iterator(cycle_findings.begin()),
                     std::make_move_iterator(cycle_findings.end()));
+  }
+  {
+    fs::path conf_file = effects_conf_path.empty()
+                             ? root / "tools" / "simdlint" / "effects.conf"
+                             : fs::path(effects_conf_path);
+    simdlint::EffectConfig config;
+    std::ifstream in(conf_file, std::ios::binary);
+    if (in) {
+      std::ostringstream text;
+      text << in.rdbuf();
+      config = simdlint::parse_effects_conf(to_repo_rel(conf_file, root),
+                                            text.str());
+    } else if (!effects_conf_path.empty()) {
+      std::cerr << "simdlint: cannot read effects conf " << conf_file << "\n";
+      return 2;
+    }
+    // A missing default conf means no declared regions: the analysis still
+    // runs (inline markers, noexcept contracts) with an empty config.
+    auto effect_findings =
+        simdlint::find_effect_findings(parsed_files, config, subset);
+    findings.insert(findings.end(),
+                    std::make_move_iterator(effect_findings.begin()),
+                    std::make_move_iterator(effect_findings.end()));
   }
   std::sort(findings.begin(), findings.end(),
             [](const simdlint::Finding& a, const simdlint::Finding& b) {
@@ -233,10 +292,10 @@ int main(int argc, char** argv) {
     const std::set<std::string> accepted = simdlint::load_baseline(in);
     const std::vector<std::string> fps = simdlint::fingerprints(findings);
     for (std::size_t i = 0; i < findings.size(); ++i) {
-      // A stale SIMDLINT-ALLOW must be *removed*, never grandfathered: an
-      // unused-suppression finding stays active even when baselined, so the
-      // lint gate fails until the directive is deleted.
-      if (findings[i].rule == "unused-suppression") continue;
+      // A stale SIMDLINT-ALLOW / region annotation must be *removed*, never
+      // grandfathered: those findings stay active even when baselined, so
+      // the lint gate fails until the directive is deleted.
+      if (never_baselined(findings[i].rule)) continue;
       if (!findings[i].suppressed && accepted.count(fps[i]) > 0) {
         findings[i].baselined = true;
       }
@@ -244,7 +303,13 @@ int main(int argc, char** argv) {
   }
 
   const simdlint::ReportStats stats = simdlint::tally(findings, files.size());
-  simdlint::text_report(std::cout, findings, stats, verbose);
+  if (format == "sarif") {
+    simdlint::sarif_report(std::cout, findings, stats);
+  } else if (format == "json") {
+    simdlint::json_report(std::cout, findings, stats);
+  } else {
+    simdlint::text_report(std::cout, findings, stats, verbose);
+  }
 
   if (!json_path.empty()) {
     if (json_path == "-") {

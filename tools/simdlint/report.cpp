@@ -1,7 +1,11 @@
 #include "simdlint/report.hpp"
 
 #include <ostream>
+#include <set>
 #include <sstream>
+#include <vector>
+
+#include "simdlint/baseline.hpp"
 
 namespace simdlint {
 
@@ -83,6 +87,70 @@ void json_report(std::ostream& out, const std::vector<Finding>& findings,
         << ", \"baselined\": " << (f.baselined ? "true" : "false") << "}";
   }
   out << "\n  ]\n}\n";
+}
+
+void sarif_report(std::ostream& out, const std::vector<Finding>& findings,
+                  const ReportStats& stats) {
+  (void)stats;
+  // Rule descriptors: the distinct ids among reported findings, in sorted
+  // order so ruleIndex assignment is byte-stable.
+  std::set<std::string> rule_set;
+  for (const Finding& f : findings) {
+    if (!f.suppressed && !f.baselined) rule_set.insert(f.rule);
+  }
+  const std::vector<std::string> rules(rule_set.begin(), rule_set.end());
+  auto rule_index = [&rules](const std::string& id) {
+    for (std::size_t i = 0; i < rules.size(); ++i) {
+      if (rules[i] == id) return i;
+    }
+    return rules.size();
+  };
+  const std::vector<std::string> fps = fingerprints(findings);
+
+  out << "{\n"
+         "  \"$schema\": \"https://raw.githubusercontent.com/oasis-tcs/"
+         "sarif-spec/master/Schemata/sarif-schema-2.1.0.json\",\n"
+         "  \"version\": \"2.1.0\",\n"
+         "  \"runs\": [\n"
+         "    {\n"
+         "      \"tool\": {\n"
+         "        \"driver\": {\n"
+         "          \"name\": \"simdlint\",\n"
+         "          \"rules\": [";
+  for (std::size_t i = 0; i < rules.size(); ++i) {
+    if (i > 0) out << ",";
+    out << "\n            {\"id\": \"" << json_escape(rules[i]) << "\"}";
+  }
+  out << (rules.empty() ? "]" : "\n          ]")
+      << "\n        }\n      },\n      \"results\": [";
+  bool first = true;
+  for (std::size_t i = 0; i < findings.size(); ++i) {
+    const Finding& f = findings[i];
+    if (f.suppressed || f.baselined) continue;
+    if (!first) out << ",";
+    first = false;
+    // SARIF regions are 1-based; cross-file findings without an owning line
+    // (include cycles) anchor at line 1.
+    const std::size_t line = f.line == 0 ? 1 : f.line;
+    out << "\n        {\n"
+           "          \"ruleId\": \"" << json_escape(f.rule) << "\",\n"
+           "          \"ruleIndex\": " << rule_index(f.rule) << ",\n"
+           "          \"level\": \"error\",\n"
+           "          \"message\": {\"text\": \"" << json_escape(f.message)
+        << "\"},\n"
+           "          \"locations\": [\n"
+           "            {\n"
+           "              \"physicalLocation\": {\n"
+           "                \"artifactLocation\": {\"uri\": \""
+        << json_escape(f.path) << "\"},\n"
+           "                \"region\": {\"startLine\": " << line << "}\n"
+           "              }\n"
+           "            }\n"
+           "          ],\n"
+           "          \"partialFingerprints\": {\"simdlintFingerprint/v1\": \""
+        << json_escape(fps[i]) << "\"}\n        }";
+  }
+  out << (first ? "]" : "\n      ]") << "\n    }\n  ]\n}\n";
 }
 
 }  // namespace simdlint

@@ -32,6 +32,13 @@ void text_report(std::ostream& out, const std::vector<Finding>& findings,
 void json_report(std::ostream& out, const std::vector<Finding>& findings,
                  const ReportStats& stats);
 
+/// SARIF 2.1.0 report (--format=sarif): active findings as level "error"
+/// results, suppressed/baselined findings omitted — GitHub code scanning
+/// renders these as PR-diff annotations.  Fingerprints ride along as
+/// partialFingerprints so annotations survive line drift.
+void sarif_report(std::ostream& out, const std::vector<Finding>& findings,
+                  const ReportStats& stats);
+
 std::string json_escape(const std::string& s);
 
 }  // namespace simdlint

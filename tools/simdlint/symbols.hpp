@@ -1,0 +1,76 @@
+// simdlint v3: symbol extraction — function definitions and their outgoing
+// calls, recovered from the blanked-code token stream.
+//
+// This is the front half of the cross-TU effect analysis (effects.hpp): a
+// single forward walk over each file's tokens that tracks namespace / class
+// nesting, recognizes function definitions (free functions, in-class and
+// out-of-class member definitions, with the enclosing qualification
+// reconstructed: `simdts::lb::Engine::expand_cycle`), and records for each
+// body
+//
+//   * every outgoing call site (bare `foo(`, qualified `a::b::foo(`, and
+//     member `x.foo(` / `x->foo(` with the receiver kept for diagnostics),
+//   * every *intrinsic* effect use — tokens whose effect needs no call
+//     resolution: non-placement `new`, lock/condvar types, host-I/O names,
+//     nondeterminism sources, and `throw` (classified typed/untyped by the
+//     repo convention that typed error classes end in "Error"),
+//   * whether the signature is `noexcept` and whether the body contains a
+//     `try` block (which stops throw propagation in the analysis).
+//
+// Like every other simdlint layer this is a token heuristic, not a parse:
+// lambdas attribute to their enclosing function, operators and macro bodies
+// are skipped, and the residue is handled by the annotation mechanisms in
+// effects.hpp rather than suppression comments.
+#pragma once
+
+#include <cstddef>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "simdlint/lexer.hpp"
+
+namespace simdlint {
+
+/// One outgoing call site inside a function body.
+struct CallSite {
+  std::string written;    // callee as written, "::"-joined: "a::b::foo"
+  std::string last_name;  // last component: "foo"
+  std::string receiver;   // receiver identifier for member calls, if simple
+  bool has_receiver = false;   // x.foo(...) / x->foo(...)
+  bool receiver_this = false;  // this->foo(...)
+  bool std_qualified = false;  // std::foo(...) or __-prefixed qualifier
+  std::size_t line = 0;        // 1-based line of the callee name
+};
+
+/// A direct (call-free) effect use inside a function body.
+struct IntrinsicUse {
+  std::string effect;  // "allocates", "locks", "does-io", "nondet",
+                       // "throws-untyped", "throws"
+  std::string detail;  // what to show in the witness: "operator new", ...
+  std::size_t line = 0;
+};
+
+/// One function definition recovered from a file.
+struct FunctionDef {
+  std::string qualified;   // "simdts::lb::Engine::expand_cycle"
+  std::string short_name;  // "expand_cycle"
+  std::string path;        // repo-relative path of the defining file
+  std::size_t line = 0;      // line of the declarator name token
+  std::size_t sig_line = 0;  // first line of the signature
+  bool is_noexcept = false;  // signature carries noexcept (not noexcept(false))
+  bool is_static = false;  // `static` in the signature: never the target of a
+                           // receiver call like `p.foo(...)`
+  bool has_try = false;      // body contains a try block
+  std::vector<CallSite> calls;
+  std::vector<IntrinsicUse> intrinsics;
+  std::set<std::string> regions;  // inline SIMDLINT-REGION kinds attached
+  std::vector<std::size_t> region_mark_lines;  // marker lines consumed
+};
+
+/// Extract every function definition of `file`, in source order.  Inline
+/// SIMDLINT-REGION markers on the line above or within the signature attach
+/// to the function; unconsumed markers are reported by the effect analysis.
+std::vector<FunctionDef> extract_functions(const SourceFile& file);
+
+}  // namespace simdlint
