@@ -10,6 +10,7 @@
 int main(int argc, char** argv) {
   using namespace simdts;
   const bool resume = bench::parse_resume_flag(argc, argv);
+  const bool mega = bench::parse_mega_flag(argc, argv);
   analysis::print_banner(
       "Figure 7 — isoefficiency curves, dynamic triggering",
       "Karypis & Kumar 1992, Figures 7a-7d",
@@ -18,5 +19,11 @@ int main(int argc, char** argv) {
   bench::run_iso_experiment("fig7b_gp_dp", lb::gp_dp(), resume);
   bench::run_iso_experiment("fig7c_ngp_dk", lb::ngp_dk(), resume);
   bench::run_iso_experiment("fig7d_ngp_dp", lb::ngp_dp(), resume);
+  if (mega) {
+    // Opt-in P = 2^20 extension of the paper's best dynamic scheme; see the
+    // matching note in fig4_iso_static.cpp.
+    bench::run_iso_experiment("fig7a_gp_dk_mega", lb::gp_dk(), resume,
+                              bench::mega_machine_sizes());
+  }
   return 0;
 }

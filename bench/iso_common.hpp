@@ -41,6 +41,22 @@ inline std::vector<synthetic::SyntheticWorkload> iso_ladder() {
 /// Target efficiencies for the extracted curves.
 inline std::vector<double> iso_targets() { return {0.50, 0.65, 0.80}; }
 
+/// Machine sizes for the opt-in mega-P sweeps (--mega): the memory-bounded
+/// stack + summary-plane machinery makes 2^20 lanes practical, and these
+/// sweeps are the standing proof.  Run under *new* experiment names so the
+/// plain figures' CSVs stay byte-identical.
+inline std::vector<std::uint32_t> mega_machine_sizes() {
+  return {1u << 14, 1u << 17, 1u << 20};
+}
+
+/// True when the command line asks for the mega-P extension sweeps.
+inline bool parse_mega_flag(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--mega") == 0) return true;
+  }
+  return false;
+}
+
 /// Runs the grid for one scheme — every (P, W) cell concurrently via the
 /// parallel sweep runner inside analysis::run_grid — then prints the raw
 /// grid, the extracted curves in the paper's (P log P, W) coordinates, and a
@@ -48,9 +64,10 @@ inline std::vector<double> iso_targets() { return {0.50, 0.65, 0.80}; }
 /// bit-identical to the serial run for any host thread count.
 inline void run_iso_experiment(const std::string& name,
                                const lb::SchemeConfig& cfg,
-                               bool resume = false) {
+                               bool resume = false,
+                               std::vector<std::uint32_t> sizes = {}) {
   std::cout << "--- " << name << " (" << cfg.name() << ") ---\n";
-  const auto sizes = iso_machine_sizes();
+  if (sizes.empty()) sizes = iso_machine_sizes();
   const auto ladder = iso_ladder();
   analysis::GridOptions options;
   options.journal_path = analysis::out_dir() + "/" + name + "_grid.journal";

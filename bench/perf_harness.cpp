@@ -48,12 +48,16 @@
 #include "lb/engine.hpp"
 #include "lb/matching.hpp"
 #include "puzzle/fifteen.hpp"
+#include "puzzle/workloads.hpp"
 #include "runtime/sweep.hpp"
 #include "sanitizer/sanitizer.hpp"
+#include "search/compact_stack.hpp"
 #include "search/work_stack.hpp"
 #include "service/service.hpp"
 #include "simd/bitplane.hpp"
+#include "simd/rendezvous.hpp"
 #include "simd/scan.hpp"
+#include "simd/summary.hpp"
 #include "synthetic/tree.hpp"
 #include "vec/expand.hpp"
 
@@ -177,6 +181,9 @@ std::vector<KernelSample> run_kernel_benchmarks(unsigned reps,
   });
   out.push_back(census);
 
+  // Ranks are PE indices, so std::uint32_t spans the whole supported machine
+  // envelope (P < 2^32; the mega-P sweeps run 2^20).  Narrower-than-32-bit
+  // assumptions on the P axis are what tests/test_mega_p.cpp exists to catch.
   std::vector<std::uint32_t> ranks(lanes);
   KernelSample enumerate{"enumerate"};
   enumerate.scalar_ns = time_kernel_ns(reps, iters, sink, [&] {
@@ -740,7 +747,199 @@ int main() {
             << analysis::format_double(svc_p99_cycles, 0)
             << " cycles, shed rate "
             << analysis::format_double(100.0 * svc_shed_rate, 1)
-            << "%, logs byte-identical across thread counts\n";
+            << "%, logs byte-identical across thread counts\n\n";
+
+  // --- Mega-P: bytes per lane + sparse lb-phase scaling. ------------------
+  // Two measurements back the P = 2^20 story (docs/performance.md, "memory
+  // model & mega-P").
+  //
+  // bytes_per_lane: one lane driven through the engine's own op discipline
+  // (pop, expand, append) down an unbounded 15-puzzle descent and back up,
+  // sampling heap bytes after every operation.  The time-averaged resident
+  // bytes — the figure P multiplies at mega-P — is what the WorkStack and
+  // the CompactStack disagree about: 16 bytes per entry versus a 2-byte
+  // delta record plus one path byte per level.  The whole-machine engine
+  // aggregate (time-averaged over every expand cycle, all P lanes) is
+  // reported alongside at each machine size; its ratio is smaller because
+  // shallow transient stacks are dominated by fixed segment overhead rather
+  // than entries.
+  //
+  // lb_phase: a rendezvous phase on a sparse plane (1024 busy + 1024 idle
+  // lanes scattered over P) timed flat — every plane word loaded, O(P/64) —
+  // versus hierarchical, which hops between occupied words via the summary
+  // plane, O(occupied + P/4096).  Pair sequences are asserted identical
+  // before timing (FATAL if not): the speedup must come from skipping
+  // provably-zero words, never from changing the matching.
+  const std::size_t descent_steps =
+      analysis::quick_mode() ? 4000 : 16000;
+  double mega_full_avg = 0.0;
+  double mega_compact_avg = 0.0;
+  std::size_t mega_full_peak = 0;
+  std::size_t mega_compact_peak = 0;
+  {
+    const auto& wl = puzzle::test_workloads()[1];
+    const puzzle::FifteenPuzzle problem(wl.board());
+    search::WorkStack<puzzle::FifteenPuzzle::Node> full_stack;
+    search::CompactStack<puzzle::FifteenPuzzle> compact_stack;
+    compact_stack.bind(problem);
+    full_stack.push(problem.root());
+    compact_stack.push(problem.root());
+    std::vector<puzzle::FifteenPuzzle::Node> kids;
+    search::NextBound nb;
+    std::uint64_t int_full = 0;
+    std::uint64_t int_compact = 0;
+    std::uint64_t mega_samples = 0;
+    const auto sample = [&] {
+      const std::size_t f = full_stack.memory_bytes();
+      const std::size_t c = compact_stack.memory_bytes();
+      int_full += f;
+      int_compact += c;
+      mega_full_peak = std::max(mega_full_peak, f);
+      mega_compact_peak = std::max(mega_compact_peak, c);
+      ++mega_samples;
+    };
+    for (std::size_t step = 0; step < descent_steps; ++step) {
+      const puzzle::FifteenPuzzle::Node a = full_stack.pop();
+      if (!(a == compact_stack.pop())) {
+        std::cout << "\nFATAL: CompactStack diverged from WorkStack during "
+                     "the bytes_per_lane descent.\n";
+        return 1;
+      }
+      kids.clear();
+      problem.expand(a, search::kUnbounded, kids, nb);
+      std::vector<puzzle::FifteenPuzzle::Node> copy = kids;
+      full_stack.append(copy.data(), copy.size());
+      compact_stack.append(kids.data(), kids.size());
+      sample();
+    }
+    while (!full_stack.empty()) {
+      if (!(full_stack.pop() == compact_stack.pop())) {
+        std::cout << "\nFATAL: CompactStack diverged from WorkStack during "
+                     "the bytes_per_lane drain.\n";
+        return 1;
+      }
+      compact_stack.release_if_drained();
+      sample();
+    }
+    mega_full_avg = static_cast<double>(int_full) /
+                    static_cast<double>(mega_samples);
+    mega_compact_avg = static_cast<double>(int_compact) /
+                       static_cast<double>(mega_samples);
+  }
+  const double mega_avg_ratio =
+      mega_compact_avg > 0.0 ? mega_full_avg / mega_compact_avg : 0.0;
+  const double mega_peak_ratio =
+      mega_compact_peak > 0
+          ? static_cast<double>(mega_full_peak) /
+                static_cast<double>(mega_compact_peak)
+          : 0.0;
+  std::cout << "mega-P bytes/lane (15-puzzle, " << descent_steps
+            << "-step descent + drain, time-averaged heap):\n"
+            << "  WorkStack " << analysis::format_double(mega_full_avg, 0)
+            << " B -> CompactStack "
+            << analysis::format_double(mega_compact_avg, 0) << " B ("
+            << analysis::format_double(mega_avg_ratio, 2) << "x; peak "
+            << analysis::format_double(mega_peak_ratio, 2) << "x)\n";
+  if (mega_avg_ratio < 4.0) {
+    std::cout << "\nFATAL: bytes_per_lane ratio fell below the 4x the "
+                 "compact representation is shipped for.\n";
+    return 1;
+  }
+
+  struct MegaSample {
+    std::uint32_t p = 0;
+    double engine_full_avg = 0.0;    ///< aggregate B/lane, full-Node stacks
+    double engine_compact_avg = 0.0; ///< aggregate B/lane, compact stacks
+    double flat_ns = 0.0;            ///< flat rendezvous, ns/phase
+    double hier_ns = 0.0;            ///< summary-hopping rendezvous, ns/phase
+  };
+  std::vector<MegaSample> mega_samples_by_p;
+  {
+    const auto& wl = puzzle::test_workloads()[3];
+    const puzzle::FifteenPuzzle problem(wl.board());
+    lb::SchemeConfig mega_cfg = cfg;
+    mega_cfg.track_stack_memory = true;
+    for (const std::uint32_t p : {1u << 14, 1u << 17, 1u << 20}) {
+      MegaSample ms;
+      ms.p = p;
+      {
+        simd::Machine machine(p, cost);
+        lb::Engine<puzzle::FifteenPuzzle> full(problem, machine, mega_cfg);
+        (void)full.run();
+        ms.engine_full_avg = full.stack_memory_avg_per_lane();
+      }
+      {
+        simd::Machine machine(p, cost);
+        lb::CompactEngine<puzzle::FifteenPuzzle> compact(problem, machine,
+                                                         mega_cfg);
+        (void)compact.run();
+        ms.engine_compact_avg = compact.stack_memory_avg_per_lane();
+      }
+
+      // Sparse rendezvous: 1024 busy + 1024 idle lanes scattered over P.
+      simd::BitPlane busy_plane(p);
+      simd::BitPlane idle_plane(p);
+      for (std::uint32_t i = 0; i < 1024; ++i) {
+        busy_plane.set(synthetic::Tree::hash2(0xB05B, i) % p, true);
+        idle_plane.set(synthetic::Tree::hash2(0x1D1E, i) % p, true);
+      }
+      for (std::size_t w = 0; w < idle_plane.words().size(); ++w) {
+        // Busy wins collisions so the two sets stay disjoint, as in the
+        // engine (a lane is busy or idle, never both).
+        idle_plane.words()[w] &= ~busy_plane.words()[w];
+      }
+      simd::SummaryPlane busy_summary;
+      simd::SummaryPlane idle_summary;
+      busy_summary.assign_for_lanes(p);
+      idle_summary.assign_for_lanes(p);
+      busy_summary.rebuild(busy_plane);
+      idle_summary.rebuild(idle_plane);
+      std::vector<simd::Pair> flat_pairs;
+      std::vector<simd::Pair> hier_pairs;
+      simd::rendezvous_into(busy_plane, idle_plane, simd::kNoPe,
+                            static_cast<std::size_t>(-1), flat_pairs);
+      simd::rendezvous_into(busy_plane, busy_summary, idle_plane,
+                            idle_summary, simd::kNoPe,
+                            static_cast<std::size_t>(-1), hier_pairs);
+      if (flat_pairs != hier_pairs || flat_pairs.empty()) {
+        std::cout << "\nFATAL: hierarchical rendezvous diverged from the "
+                     "flat kernel at P = " << p << ".\n";
+        return 1;
+      }
+      // Same total word budget per size so each timing runs long enough to
+      // measure, while phases stay identical in what they compute.
+      const std::size_t phase_iters = std::max<std::size_t>(
+          32, (analysis::quick_mode() ? (1u << 22) : (1u << 25)) / p);
+      std::vector<simd::Pair> pairs_buf;
+      ms.flat_ns = time_kernel_ns(reps, phase_iters, sink, [&] {
+        simd::rendezvous_into(busy_plane, idle_plane, simd::kNoPe,
+                              static_cast<std::size_t>(-1), pairs_buf);
+        return static_cast<std::uint64_t>(pairs_buf.size());
+      });
+      ms.hier_ns = time_kernel_ns(reps, phase_iters, sink, [&] {
+        simd::rendezvous_into(busy_plane, busy_summary, idle_plane,
+                              idle_summary, simd::kNoPe,
+                              static_cast<std::size_t>(-1), pairs_buf);
+        return static_cast<std::uint64_t>(pairs_buf.size());
+      });
+      mega_samples_by_p.push_back(ms);
+      std::cout << "  P = " << p << ": engine "
+                << analysis::format_double(ms.engine_full_avg, 3) << " -> "
+                << analysis::format_double(ms.engine_compact_avg, 3)
+                << " B/lane ("
+                << analysis::format_double(
+                       ms.engine_compact_avg > 0.0
+                           ? ms.engine_full_avg / ms.engine_compact_avg
+                           : 0.0,
+                       2)
+                << "x); sparse lb phase "
+                << analysis::format_double(ms.flat_ns, 0) << " -> "
+                << analysis::format_double(ms.hier_ns, 0) << " ns ("
+                << analysis::format_double(
+                       ms.hier_ns > 0.0 ? ms.flat_ns / ms.hier_ns : 0.0, 1)
+                << "x)\n";
+    }
+  }
 
   // --- JSON artifact. -----------------------------------------------------
   std::ostringstream json;
@@ -840,7 +1039,37 @@ int main() {
     }
     json << "}" << (i + 1 < kernels.size() ? "," : "") << "\n";
   }
-  json << "  }\n"
+  json << "  },\n"
+       << "  \"mega_p\": {\n"
+       << "    \"bytes_per_lane\": {\"workload\": \"t-4k\", "
+       << "\"descent_steps\": " << descent_steps
+       << ", \"full_avg\": " << format_json_double(mega_full_avg)
+       << ", \"compact_avg\": " << format_json_double(mega_compact_avg)
+       << ", \"ratio\": " << format_json_double(mega_avg_ratio)
+       << ", \"full_peak\": " << mega_full_peak
+       << ", \"compact_peak\": " << mega_compact_peak
+       << ", \"peak_ratio\": " << format_json_double(mega_peak_ratio)
+       << "},\n"
+       << "    \"sizes\": [\n";
+  for (std::size_t i = 0; i < mega_samples_by_p.size(); ++i) {
+    const MegaSample& m = mega_samples_by_p[i];
+    json << "      {\"p\": " << m.p << ", \"engine_full_avg_per_lane\": "
+         << format_json_double(m.engine_full_avg)
+         << ", \"engine_compact_avg_per_lane\": "
+         << format_json_double(m.engine_compact_avg)
+         << ", \"engine_ratio\": "
+         << format_json_double(m.engine_compact_avg > 0.0
+                                   ? m.engine_full_avg / m.engine_compact_avg
+                                   : 0.0)
+         << ", \"lb_phase_flat_ns\": " << format_json_double(m.flat_ns)
+         << ", \"lb_phase_hier_ns\": " << format_json_double(m.hier_ns)
+         << ", \"lb_phase_speedup\": "
+         << format_json_double(m.hier_ns > 0.0 ? m.flat_ns / m.hier_ns : 0.0)
+         << "}" << (i + 1 < mega_samples_by_p.size() ? "," : "") << "\n";
+  }
+  json << "    ],\n"
+       << "    \"pairs_identical_flat_vs_hier\": true\n"
+       << "  }\n"
        << "}\n";
 
   std::string path = "BENCH_engine.json";

@@ -61,6 +61,10 @@ struct SchemeConfig {
   /// Record the number of active processors after every node-expansion cycle
   /// (Figure 8 traces).
   bool record_trace = false;
+  /// Sample aggregate stack heap bytes after every expansion cycle (the
+  /// mega-P `bytes_per_lane` benchmarks).  Off by default: the sweep is
+  /// O(P) per cycle.  Never affects simulated results.
+  bool track_stack_memory = false;
 
   [[nodiscard]] std::string name() const;
 

@@ -45,25 +45,41 @@
 // the expansion loop masks it out one word at a time, so with no plan armed
 // (the plane all-zero) the fault machinery costs one AND per 64 lanes and
 // the run is bit-identical to the pre-fault engine.
+// Mega-P (P up to 2^20 and beyond): three coordinated mechanisms keep such
+// machines practical.  Per-lane state lives in a common::ShardedArray
+// (64-word-aligned chunks, stable addresses, incremental allocation); each
+// flag plane carries a simd::SummaryPlane (one bit per 64-lane word,
+// maintained at the same write-back that stores the word) so the expansion
+// walk and every load-balancing enumeration skip empty regions and scale
+// with *occupied* words, not P; and the per-lane stack is a template
+// parameter, so a DeltaTreeProblem can swap WorkStack's full-Node entries
+// for CompactStack's 2-byte delta records (see CompactEngine below).  Host
+// partitions are aligned to 64 plane words so every summary word keeps a
+// single writer per cycle; alignment only moves chunk boundaries, which by
+// the determinism guarantee above cannot move a single simulated result.
 #pragma once
 
+#include <algorithm>
 #include <bit>
 #include <cstddef>
 #include <cstdint>
 #include <vector>
 
 #include "common/error.hpp"
+#include "common/sharded_array.hpp"
 #include "fault/fault.hpp"
 #include "lb/config.hpp"
 #include "sanitizer/sanitizer.hpp"
 #include "lb/matching.hpp"
 #include "lb/metrics.hpp"
 #include "lb/trigger.hpp"
+#include "search/compact_stack.hpp"
 #include "search/problem.hpp"
 #include "search/splitter.hpp"
 #include "search/work_stack.hpp"
 #include "simd/bitplane.hpp"
 #include "simd/machine.hpp"
+#include "simd/summary.hpp"
 #ifdef SIMDTS_VECTOR_BACKEND
 #include "vec/expand.hpp"
 #endif
@@ -78,10 +94,19 @@ namespace simdts::lb {
 /// construction and by the oracle gate in tests/test_vector_backend.cpp.
 enum class ExecBackend : std::uint8_t { kScalar, kVector };
 
-template <search::TreeProblem P>
+/// `StackT` selects the per-lane stack representation: WorkStack<Node> (the
+/// default — full nodes, every TreeProblem) or search::CompactStack<P> (delta
+/// records, DeltaTreeProblem only; ~4x fewer bytes per lane on the
+/// 15-puzzle).  Both satisfy the same stack contract and the engine's
+/// simulated results are bit-identical across the two (pinned by
+/// tests/test_compact_stack.cpp), so the choice is purely a host-memory
+/// trade.
+template <search::TreeProblem P,
+          typename StackT = search::WorkStack<typename P::Node>>
 class Engine {
  public:
   using Node = typename P::Node;
+  using Stack = StackT;
 
   /// Throws simdts::ConfigError on an invalid scheme configuration (see
   /// SchemeConfig::validate).
@@ -97,13 +122,22 @@ class Engine {
         alive_(machine.size()),
         lane_scratch_(machine.pool() != nullptr ? machine.pool()->size() : 1) {
     cfg_.validate();
+    busy_summary_.assign_for_lanes(machine.size());
+    idle_summary_.assign_for_lanes(machine.size());
+    work_summary_.assign_for_lanes(machine.size());
+    if constexpr (requires(StackT& s) { s.bind(problem); }) {
+      stacks_.for_each([&problem](StackT& s) { s.bind(problem); });
+    }
     // Size the lane scratch once, outside the lockstep region: a cycle
     // records at most one goal per PE and a batch never crosses one flag
     // word, so with these capacities a steady-state cycle touches no
     // allocator at all (the effect analysis pins the remaining growth
-    // sites, see the markers in expand_cycle / expand_cycle_vector).
+    // sites, see the markers in expand_cycle / expand_cycle_vector).  The
+    // goal reserve is capped: at mega-P a per-host-lane reserve of P nodes
+    // would itself dominate memory, and a cycle landing more than the cap in
+    // goals at once is a terminal burst whose growth the markers cover.
     for (LaneScratch& ls : lane_scratch_) {
-      ls.goal_nodes.reserve(machine.size());
+      ls.goal_nodes.reserve(std::min<std::size_t>(machine.size(), 4096));
 #ifdef SIMDTS_VECTOR_BACKEND
       ls.batch_nodes.reserve(simd::BitPlane::kWordBits);
       ls.batch_counts.resize(simd::BitPlane::kWordBits);
@@ -213,7 +247,7 @@ class Engine {
     IterationStats& stats = result.stats;
     stats.bound = bound;
 
-    for (auto& s : stacks_) s.clear();
+    stacks_.for_each([](StackT& s) { s.clear(); });
     // Initial census and flag planes: the first surviving PE holds the root
     // (one node, so not yet splittable), every other survivor is idle, dead
     // lanes are neither.  From here on the census is maintained
@@ -236,6 +270,7 @@ class Engine {
     counts_ = Counts{};
     counts_.nonempty = 1;
     counts_.empty = alive_ - 1;
+    rebuild_summaries();
 
     next_bound_ = search::NextBound{};
     goal_nodes_.clear();
@@ -268,6 +303,7 @@ class Engine {
       machine_.charge_expand_cycle(working, alive_);
       trigger.note_cycle(working);
       ++stats.expand_cycles;
+      if (cfg_.track_stack_memory) note_stack_memory();
       if (cfg_.record_trace) {
         stats.trace.push_back(
             TracePoint{counts_.nonempty, counts_.splittable, alive_});
@@ -353,8 +389,41 @@ class Engine {
   [[nodiscard]] const Matcher& matcher() const { return matcher_; }
 
   /// Direct access to the PE stacks, for white-box tests.
-  [[nodiscard]] const std::vector<search::WorkStack<Node>>& stacks() const {
+  [[nodiscard]] const common::ShardedArray<StackT>& stacks() const {
     return stacks_;
+  }
+
+  /// Returns surplus stack capacity to the allocator across every lane (the
+  /// pooled-release path; a serial, between-runs operation).
+  void trim_memory() {
+    stacks_.for_each([](StackT& s) { s.shrink_to_fit(); });
+  }
+
+  /// Total heap bytes held by the per-lane stacks — the bytes-per-lane
+  /// metric of the mega-P benchmarks.
+  [[nodiscard]] std::size_t stack_memory_bytes() const {
+    std::size_t total = 0;
+    stacks_.for_each([&total](const StackT& s) { total += s.memory_bytes(); });
+    return total;
+  }
+
+  /// Peak of stack_memory_bytes() across all cycles sampled so far.
+  /// Requires SchemeConfig::track_stack_memory; zero otherwise.
+  [[nodiscard]] std::uint64_t stack_memory_peak() const noexcept {
+    return stack_bytes_peak_;
+  }
+
+  /// Time-averaged resident stack bytes per lane: the per-cycle sum of
+  /// stack_memory_bytes() integrated over every sampled cycle, divided by
+  /// (cycles * P).  This is the number that sizes a mega-P deployment —
+  /// P * avg-bytes-per-lane is the expected resident footprint — and the
+  /// `bytes_per_lane` figure of BENCH_engine.json's mega_p section.
+  /// Requires SchemeConfig::track_stack_memory; zero otherwise.
+  [[nodiscard]] double stack_memory_avg_per_lane() const noexcept {
+    if (stack_bytes_cycles_ == 0) return 0.0;
+    return static_cast<double>(stack_bytes_integral_) /
+           (static_cast<double>(stack_bytes_cycles_) *
+            static_cast<double>(machine_.size()));
   }
 
   /// Surviving lane count (== machine size with no faults applied).
@@ -440,8 +509,23 @@ class Engine {
       const std::size_t claim_end =
           san::mutation().shrink_word_claim && wend > wbegin ? wend - 1 : wend;
       san::WordClaim claim(san_claims_, lane, wbegin, claim_end);
+      // The dead-lane-expansion mutation needs the flat walk: it fakes every
+      // lane alive, which the work summary would mask back out by skipping
+      // all-dead words entirely.
+      const bool san_flat = san::mutation().expand_dead_lane;
+#else
+      constexpr bool san_flat = false;
 #endif
-      for (std::size_t w = wbegin; w < wend; ++w) {
+      // Walk only work-summary-occupied words: a clear summary bit
+      // guarantees `active == 0` below, so skipping it is exactly the flat
+      // walk's `continue`.  The bounded scan stays inside this host lane's
+      // 64-word-aligned chunk, whose summary words no other lane writes.
+      for (std::size_t w =
+               san_flat ? wbegin
+                        : work_summary_.next_occupied_below(wbegin, wend);
+           w < wend;
+           w = san_flat ? w + 1
+                        : work_summary_.next_occupied_below(w + 1, wend)) {
         const std::uint64_t valid =
             (w + 1 == nwords) ? last_mask : ~std::uint64_t{0};
         std::uint64_t idle_w = idle_words[w];
@@ -465,9 +549,9 @@ class Engine {
           Node n = st.pop();
           if (problem_.is_goal(n)) {
             ++ls.goals;
-            // SIMDLINT-EFFECT-OK(allocates) capacity P reserved at
-            ls.goal_nodes.push_back(std::move(n));  // construction; a cycle
-            // records at most one goal per PE, so this never reallocates.
+            // SIMDLINT-EFFECT-OK(allocates) capacity min(P, 4096) reserved
+            ls.goal_nodes.push_back(std::move(n));  // at construction; only
+            // a terminal goal burst past the cap grows it, amortized.
           } else {
             const std::size_t staged = ls.children.size();
             // SIMDLINT-EFFECT-OK(allocates) children is persistent-capacity
@@ -483,6 +567,13 @@ class Engine {
             busy_w &= ~bit;
             --ls.d_nonempty;
             if (was_split) --ls.d_splittable;
+            if constexpr (requires { st.release_if_drained(); }) {
+              // Pooled release: a drained lane's heap goes back to the
+              // allocator the cycle it goes idle, so resident stack memory
+              // tracks *live* work — the memory bound that makes P = 2^20
+              // practical.  Memory-only: simulated results are unchanged.
+              st.release_if_drained();
+            }
           } else if (st.splittable() != was_split) {
             ls.d_splittable += was_split ? -1 : 1;
             busy_w ^= bit;
@@ -493,10 +584,17 @@ class Engine {
 #endif
         idle_words[w] = idle_w;
         busy_words[w] = busy_w;
+        busy_summary_.update_word(w, busy_w);
+        idle_summary_.update_word(w, idle_w);
+        work_summary_.update_word(w, ~idle_w & ~dead_words[w] & valid);
       }
     };
     if (pool != nullptr && pool->size() > 1) {
-      pool->parallel_for_lanes(nwords, body);
+      // 64-word alignment gives every summary word a single writer; chunk
+      // boundaries never affect simulated results (see the determinism note
+      // in the header comment).
+      pool->parallel_for_lanes_aligned(nwords, simd::BitPlane::kWordBits,
+                                       body);
     } else {
       body(0, 0, nwords);
     }
@@ -585,8 +683,23 @@ class Engine {
       const std::size_t claim_end =
           san::mutation().shrink_word_claim && wend > wbegin ? wend - 1 : wend;
       san::WordClaim claim(san_claims_, lane, wbegin, claim_end);
+      // The dead-lane-expansion mutation needs the flat walk: it fakes every
+      // lane alive, which the work summary would mask back out by skipping
+      // all-dead words entirely.
+      const bool san_flat = san::mutation().expand_dead_lane;
+#else
+      constexpr bool san_flat = false;
 #endif
-      for (std::size_t w = wbegin; w < wend; ++w) {
+      // Walk only work-summary-occupied words: a clear summary bit
+      // guarantees `active == 0` below, so skipping it is exactly the flat
+      // walk's `continue`.  The bounded scan stays inside this host lane's
+      // 64-word-aligned chunk, whose summary words no other lane writes.
+      for (std::size_t w =
+               san_flat ? wbegin
+                        : work_summary_.next_occupied_below(wbegin, wend);
+           w < wend;
+           w = san_flat ? w + 1
+                        : work_summary_.next_occupied_below(w + 1, wend)) {
         const std::uint64_t valid =
             (w + 1 == nwords) ? last_mask : ~std::uint64_t{0};
         std::uint64_t idle_w = idle_words[w];
@@ -613,9 +726,9 @@ class Engine {
           Node n = stacks_[base + b].pop();
           if (problem_.is_goal(n)) {
             ++ls.goals;
-            // SIMDLINT-EFFECT-OK(allocates) capacity P reserved at
-            ls.goal_nodes.push_back(std::move(n));  // construction; a cycle
-            // records at most one goal per PE, so this never reallocates.
+            // SIMDLINT-EFFECT-OK(allocates) capacity min(P, 4096) reserved
+            ls.goal_nodes.push_back(std::move(n));  // at construction; only
+            // a terminal goal burst past the cap grows it, amortized.
             goal_bits |= std::uint64_t{1} << b;
           } else {
             // SIMDLINT-EFFECT-OK(allocates) capacity kWordBits reserved at
@@ -651,6 +764,13 @@ class Engine {
             busy_w &= ~bit;
             --ls.d_nonempty;
             if (was_split) --ls.d_splittable;
+            if constexpr (requires { st.release_if_drained(); }) {
+              // Pooled release: a drained lane's heap goes back to the
+              // allocator the cycle it goes idle, so resident stack memory
+              // tracks *live* work — the memory bound that makes P = 2^20
+              // practical.  Memory-only: simulated results are unchanged.
+              st.release_if_drained();
+            }
           } else if (st.splittable() != was_split) {
             ls.d_splittable += was_split ? -1 : 1;
             busy_w ^= bit;
@@ -661,10 +781,17 @@ class Engine {
 #endif
         idle_words[w] = idle_w;
         busy_words[w] = busy_w;
+        busy_summary_.update_word(w, busy_w);
+        idle_summary_.update_word(w, idle_w);
+        work_summary_.update_word(w, ~idle_w & ~dead_words[w] & valid);
       }
     };
     if (pool != nullptr && pool->size() > 1) {
-      pool->parallel_for_lanes(nwords, body);
+      // 64-word alignment gives every summary word a single writer; chunk
+      // boundaries never affect simulated results (see the determinism note
+      // in the header comment).
+      pool->parallel_for_lanes_aligned(nwords, simd::BitPlane::kWordBits,
+                                       body);
     } else {
       body(0, 0, nwords);
     }
@@ -712,6 +839,17 @@ class Engine {
     san::check_census(busy_flags_.count(), ref_splittable,
                       "busy-plane popcount");
     san::check_census(idle_flags_.count(), ref_empty, "idle-plane popcount");
+    // Census-divergence check, summary level: every incrementally maintained
+    // summary bit must agree with a recomputation from its plane.
+    busy_summary_.san_verify(busy_flags_, "busy summary");
+    idle_summary_.san_verify(idle_flags_, "idle summary");
+    const std::size_t nwords = idle_flags_.word_count();
+    for (std::size_t w = 0; w < nwords; ++w) {
+      const std::uint64_t active = ~idle_flags_.words()[w] &
+                                   ~dead_.words()[w] & idle_flags_.word_mask(w);
+      san::check_census(work_summary_.test(w) ? 1 : 0, active != 0 ? 1 : 0,
+                        "work summary");
+    }
   }
 
   /// Mutation hook: redirect the first matched pair's donor to a dead lane
@@ -766,6 +904,7 @@ class Engine {
 #endif
     busy_flags_.reset(pe);
     idle_flags_.reset(pe);
+    resync_lane_summaries(pe);
     --alive_;
     ++stats.pes_killed;
 
@@ -838,6 +977,7 @@ class Engine {
     ++alive_;
     busy_flags_.reset(pe);
     idle_flags_.set(pe);
+    resync_lane_summaries(pe);
     ++counts_.empty;
     ++stats.pes_revived;
     trigger.set_machine_size(alive_);
@@ -874,7 +1014,7 @@ class Engine {
   }
 
   /// Re-adds stack i's (possibly changed) classification to the census and
-  /// refreshes its flag-plane entries.
+  /// refreshes its flag-plane entries (and their summary bits).
   void census_add(std::size_t i) {
     const auto& s = stacks_[i];
     if (s.empty()) {
@@ -887,6 +1027,41 @@ class Engine {
       const bool split = s.splittable();
       busy_flags_.set(i, split);
       if (split) ++counts_.splittable;
+    }
+    resync_lane_summaries(i);
+  }
+
+  /// Recomputes the three summary bits of the word holding lane `i` from the
+  /// flag planes — the serial-context counterpart of the expand cycle's
+  /// write-back maintenance.  Every serial plane mutation (census_add, fault
+  /// kill/revive) ends here.
+  void resync_lane_summaries(std::size_t i) {
+    const std::size_t w = i / simd::BitPlane::kWordBits;
+    const std::uint64_t idle_w = idle_flags_.words()[w];
+    busy_summary_.update_word(w, busy_flags_.words()[w]);
+    idle_summary_.update_word(w, idle_w);
+    work_summary_.update_word(
+        w, ~idle_w & ~dead_.words()[w] & idle_flags_.word_mask(w));
+  }
+
+  /// One stack-memory sample (serial, between cycles): accumulates the
+  /// byte-cycle integral and the peak behind SchemeConfig::track_stack_memory.
+  void note_stack_memory() {
+    const std::size_t bytes = stack_memory_bytes();
+    stack_bytes_integral_ += bytes;
+    if (bytes > stack_bytes_peak_) stack_bytes_peak_ = bytes;
+    ++stack_bytes_cycles_;
+  }
+
+  /// Full recomputation of all three summaries (iteration start).
+  void rebuild_summaries() {
+    busy_summary_.rebuild(busy_flags_);
+    idle_summary_.rebuild(idle_flags_);
+    const std::size_t nwords = idle_flags_.word_count();
+    for (std::size_t w = 0; w < nwords; ++w) {
+      work_summary_.update_word(w, ~idle_flags_.words()[w] &
+                                       ~dead_.words()[w] &
+                                       idle_flags_.word_mask(w));
     }
   }
 
@@ -903,7 +1078,7 @@ class Engine {
     for (;;) {
       std::uint64_t transfers = 0;
       if (cfg_.match == MatchScheme::kNeighbor) {
-        neighbor_pairs_into(busy_flags_, idle_flags_, pairs_);
+        neighbor_pairs_into(busy_flags_, busy_summary_, idle_flags_, pairs_);
         if (pairs_.empty()) break;
 #ifdef SIMDTS_SANITIZE
         san_apply_pair_mutation();
@@ -919,7 +1094,8 @@ class Engine {
         const std::size_t limit = cfg_.max_pairs_per_round == 0
                                       ? static_cast<std::size_t>(-1)
                                       : cfg_.max_pairs_per_round;
-        matcher_.match_into(busy_flags_, idle_flags_, limit, pairs_);
+        matcher_.match_into(busy_flags_, busy_summary_, idle_flags_,
+                            idle_summary_, limit, pairs_);
         if (pairs_.empty()) break;
 #ifdef SIMDTS_SANITIZE
         san_apply_pair_mutation();
@@ -981,8 +1157,9 @@ class Engine {
   std::uint64_t transfer_give_one(IterationStats& stats) {
     const simd::PeIndex start_after =
         cfg_.match == MatchScheme::kGP ? matcher_.pointer() : simd::kNoPe;
-    simd::ranked_into(busy_flags_, start_after, donors_buf_);
-    simd::ranked_into(idle_flags_, simd::kNoPe, receivers_buf_);
+    simd::ranked_into(busy_flags_, busy_summary_, start_after, donors_buf_);
+    simd::ranked_into(idle_flags_, idle_summary_, simd::kNoPe,
+                      receivers_buf_);
     const std::vector<simd::PeIndex>& donors = donors_buf_;
     const std::vector<simd::PeIndex>& receivers = receivers_buf_;
     std::uint64_t transfers = 0;
@@ -1018,9 +1195,16 @@ class Engine {
   SchemeConfig cfg_;
   ExecBackend backend_ = ExecBackend::kScalar;
   Matcher matcher_;
-  std::vector<search::WorkStack<Node>> stacks_;
+  common::ShardedArray<StackT> stacks_;
   simd::BitPlane busy_flags_;   ///< splittable, maintained in place
   simd::BitPlane idle_flags_;   ///< empty *and alive*, in place
+  simd::SummaryPlane busy_summary_;  ///< one bit per busy-plane word
+  simd::SummaryPlane idle_summary_;  ///< one bit per idle-plane word
+  simd::SummaryPlane work_summary_;  ///< bit w: word w has an active lane
+  // Stack-memory accounting (track_stack_memory only; results-inert).
+  std::uint64_t stack_bytes_integral_ = 0;  ///< sum over sampled cycles
+  std::uint64_t stack_bytes_peak_ = 0;
+  std::uint64_t stack_bytes_cycles_ = 0;
   fault::DeadLanePlane dead_;   ///< killed lanes (degraded mode)
   std::uint32_t alive_;         ///< surviving lane count
   Counts counts_;               ///< incrementally maintained census
@@ -1048,5 +1232,10 @@ class Engine {
   san::ClaimDomain san_claims_;   ///< this engine's word-ownership claims
 #endif
 };
+
+/// Engine with memory-bounded delta stacks: the mega-P configuration for
+/// problems that provide a delta codec (search::DeltaTreeProblem).
+template <search::DeltaTreeProblem P>
+using CompactEngine = Engine<P, search::CompactStack<P>>;
 
 }  // namespace simdts::lb

@@ -47,6 +47,16 @@ class Matcher {
                   const simd::BitPlane& idle_flags, std::size_t limit,
                   std::vector<simd::Pair>& out);
 
+  /// Summary-aware match: as the packed overload (identical pair sequence and
+  /// pointer advance), but both enumerations hop between occupied words via
+  /// the planes' summaries, so a sparse round costs O(occupied words) instead
+  /// of O(P/64) — the mega-P load-balancing path.
+  void match_into(const simd::BitPlane& busy_flags,
+                  const simd::SummaryPlane& busy_summary,
+                  const simd::BitPlane& idle_flags,
+                  const simd::SummaryPlane& idle_summary, std::size_t limit,
+                  std::vector<simd::Pair>& out);
+
   /// Position of the global pointer (kNoPe before the first GP phase, and
   /// always kNoPe for nGP).
   [[nodiscard]] simd::PeIndex pointer() const { return pointer_; }
@@ -79,6 +89,14 @@ void neighbor_pairs_into(std::span<const std::uint8_t> busy_flags,
 /// per word instead of a per-lane walk.  Pair order matches the byte-plane
 /// overload exactly.
 void neighbor_pairs_into(const simd::BitPlane& busy_flags,
+                         const simd::BitPlane& idle_flags,
+                         std::vector<simd::Pair>& out);
+
+/// Summary-aware ring pairing: identical pair sequence to the packed overload,
+/// but only busy-summary-occupied words are visited (a word with no busy lane
+/// contributes no pairs regardless of the idle plane).
+void neighbor_pairs_into(const simd::BitPlane& busy_flags,
+                         const simd::SummaryPlane& busy_summary,
                          const simd::BitPlane& idle_flags,
                          std::vector<simd::Pair>& out);
 

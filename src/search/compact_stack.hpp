@@ -1,0 +1,365 @@
+// Memory-bounded per-PE work stack: deltas instead of full node copies.
+//
+// A WorkStack<Node> holds a full Node per entry (16 bytes in both shipped
+// domains), which at P = 2^20 lanes times stack depth dominates host memory.
+// Following the space-efficient stack-splitting literature (Pietracaprina et
+// al.), a CompactStack exploits that in depth-first order almost every entry
+// is a child of a node the stack has already materialized: it stores a full
+// *base* node per contiguously-grown run (a "segment") and, per entry, only
+// a 2-byte record — the entry's segment-relative level plus the one-byte
+// delta of the problem's codec (search::DeltaTreeProblem: a move index /
+// child ordinal).
+// Entries are materialized on pop by decoding the delta against the entry's
+// parent, which is reconstructed from the segment's *delta path* (the chain
+// of deltas from the base to the most recently popped node).
+//
+// Segment invariants (each proven by the DFS discipline):
+//  - Entry levels are non-decreasing from bottom to top of a segment: pops
+//    come off the top (the maximum level) and children land one level deeper.
+//  - For every live entry at level L, the first L-1 deltas of the segment's
+//    path are exactly its ancestor chain: siblings share the parent the path
+//    currently materializes, and backtracking truncates the path only past
+//    the levels that still have live entries.
+//  - At most one level-0 entry per segment (the base itself, created by
+//    push()); when present it is the segment's bottom entry.  Segments
+//    created by the depth-bound split below have no level-0 entry: their
+//    base is the already-popped parent of the entries above it.
+//  - Levels are segment-relative and never exceed kMaxLevel (255): when a
+//    descent would push an entry past that depth, append() freezes the
+//    segment and starts a new one whose base is the cached parent
+//    materialization.  One full Node per 255 levels of depth keeps the
+//    per-entry record at 2 bytes for arbitrarily deep trees.
+//
+// Backtracking cost: with an UndoDeltaProblem (15-puzzle) the cached top
+// node is walked down the path one O(1) undo per level; without one
+// (hash-generated synthetic trees) the path is replayed from the base.
+// Either way the hot descend case — pop the child just appended — is one
+// decode.
+//
+// New segments are created only by push() (work received in serial phases:
+// donations, fault recovery); the lock-step expand cycle only pops and
+// appends, so a lane that never receives work holds exactly one segment.
+// The whole representation lives behind one pointer, so an idle lane costs
+// 24 bytes — smaller than an empty WorkStack — and clear() is a pooled
+// release that returns the lane's memory to the allocator.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "sanitizer/sanitizer.hpp"
+#include "search/problem.hpp"
+#include "search/splitter.hpp"
+
+namespace simdts::search {
+
+template <DeltaTreeProblem Pr>
+class CompactStack {
+ public:
+  using Node = typename Pr::Node;
+
+  CompactStack() = default;
+  CompactStack(CompactStack&&) noexcept = default;
+  CompactStack& operator=(CompactStack&&) noexcept = default;
+
+  /// Binds the problem whose codec materializes entries.  Must be called
+  /// before the first push (the engine binds every lane at construction).
+  void bind(const Pr& problem) noexcept { problem_ = &problem; }
+
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+
+  /// True when the stack can be split into two non-empty parts — the paper's
+  /// definition of a busy processor.
+  [[nodiscard]] bool splittable() const noexcept { return size_ >= 2; }
+
+  /// Pushes a self-contained node: a new segment whose base is `n`.  Serial
+  /// contexts only (donations, recovery, the root); the expand cycle grows
+  /// stacks exclusively through append().
+  void push(Node n) {
+    Rep& r = rep();
+    r.segs.emplace_back();
+    Segment& s = r.segs.back();
+    s.base = std::move(n);
+    push_record(s, 0, 0);
+    r.cur = s.base;
+    r.cur_valid = true;
+    ++size_;
+  }
+
+  /// Pushes `n` children of the node the immediately preceding pop()
+  /// returned — the expand cycle's staged batch append, and the only context
+  /// append() is valid in.  src[n-1] ends on top, exactly as WorkStack.
+  void append(Node* src, std::size_t n) {
+    Rep& r = *rep_;
+    if (r.segs.back().path.size() >= kMaxLevel) {
+      // Depth-bound split: the next level would not fit the one-byte record,
+      // so freeze this segment and continue the descent in a new one rooted
+      // at the parent (r.cur is valid here: append only follows a pop).  The
+      // parent is already popped, so the new base is not a live entry.
+      // SIMDLINT-EFFECT-OK(allocates) one segment per 255 levels of depth
+      r.segs.emplace_back();
+      r.segs.back().base = r.cur;
+    }
+    Segment& s = r.segs.back();
+    const auto level = static_cast<std::uint8_t>(s.path.size() + 1);
+    for (std::size_t i = 0; i < n; ++i) {
+      push_record(s, level, problem_->encode_delta(r.cur, src[i]));
+    }
+    size_ += n;
+  }
+
+  /// Pops the deepest entry (LIFO — depth-first order), materializing it
+  /// from its parent via the delta path.
+  Node pop() {
+#ifdef SIMDTS_SANITIZE
+    san::check_stack_read(size_, 1, "CompactStack::pop");
+#endif
+    Rep& r = *rep_;
+    // Segments drained by earlier pops (their last entry popped and no
+    // children appended) are discarded lazily here.
+    while (r.segs.back().entries.size() == r.segs.back().entry_head) {
+      r.segs.pop_back();
+      r.cur_valid = false;
+    }
+    Segment& s = r.segs.back();
+    std::uint8_t level = 0;
+    std::uint8_t delta = 0;
+    read_record(s, s.entries.size() - kRecordBytes, level, delta);
+    s.entries.resize(s.entries.size() - kRecordBytes);
+    --size_;
+    if (level == 0) {
+      s.path.clear();
+      r.cur = s.base;
+      r.cur_valid = true;
+      return s.base;
+    }
+    backtrack_to(r, s, static_cast<std::size_t>(level) - 1);
+    Node n = problem_->decode_delta(r.cur, delta);
+    // SIMDLINT-EFFECT-OK(allocates) path growth is bounded by tree depth and
+    s.path.push_back(delta);  // amortizes away after the first full descent.
+    r.cur = n;
+    return n;
+  }
+
+  /// Removes and returns the shallowest entry (bottom of the bottom
+  /// segment) — the donation path of the bottom-node splitter.  Replays the
+  /// segment's path prefix read-only, so the cached top-of-stack
+  /// materialization is untouched.
+  Node take_bottom() {
+#ifdef SIMDTS_SANITIZE
+    san::check_stack_read(size_, 1, "CompactStack::take_bottom");
+#endif
+    Rep& r = *rep_;
+    while (r.segs.front().entries.size() == r.segs.front().entry_head) {
+      r.segs.erase(r.segs.begin());
+    }
+    Segment& s = r.segs.front();
+    std::uint8_t level = 0;
+    std::uint8_t delta = 0;
+    read_record(s, s.entry_head, level, delta);
+    s.entry_head += kRecordBytes;
+    --size_;
+    Node n = materialize(s, level, delta);
+    if (s.entries.size() == s.entry_head) {
+      if (size_ == 0) {
+        rep_.reset();
+      } else if (r.segs.size() > 1) {
+        r.segs.erase(r.segs.begin());
+      }
+    }
+    return n;
+  }
+
+  /// Destroys every entry and returns the lane's memory to the allocator
+  /// (the pooled-release path: an idle lane holds only the 24-byte header).
+  void clear() noexcept {
+    rep_.reset();
+    size_ = 0;
+  }
+
+  /// Releases the representation when empty (entries always pack 2 bytes, so
+  /// there is nothing further to shrink while entries live).
+  void shrink_to_fit() {
+    if (size_ == 0) rep_.reset();
+  }
+
+  /// The expand cycle's pooled-release hook: called the moment a lane goes
+  /// idle, so a drained lane costs only the 24-byte header until work
+  /// arrives again.  (WorkStack deliberately has no such hook — its ring
+  /// retains capacity for the run; that retained-versus-live gap is the
+  /// `bytes_per_lane` comparison of the mega-P benchmarks.)
+  void release_if_drained() noexcept {
+    if (size_ == 0) rep_.reset();
+  }
+
+  /// Moves every node into `out` in bottom-to-top order, leaving the stack
+  /// empty — the fault-recovery journaling path (see WorkStack::drain_into).
+  void drain_into(std::vector<Node>& out) {
+    out.reserve(out.size() + size_);
+    if (rep_ == nullptr) return;
+    std::vector<Node> chain;
+    for (Segment& s : rep_->segs) {
+      // chain[i] = the node at path depth i; every live entry's parent is a
+      // chain element by the path-prefix invariant.
+      chain.clear();
+      chain.push_back(s.base);
+      for (const std::uint8_t d : s.path) {
+        chain.push_back(problem_->decode_delta(chain.back(), d));
+      }
+      for (std::size_t off = s.entry_head; off < s.entries.size();
+           off += kRecordBytes) {
+        std::uint8_t level = 0;
+        std::uint8_t delta = 0;
+        read_record(s, off, level, delta);
+        out.push_back(level == 0
+                          ? s.base
+                          : problem_->decode_delta(chain[level - 1], delta));
+      }
+    }
+    clear();
+  }
+
+  /// Heap bytes of the representation (the bytes-per-lane metric of the
+  /// mega-P benchmarks; the 24-byte header is excluded from both this and
+  /// WorkStack::memory_bytes for a like-for-like comparison).
+  [[nodiscard]] std::size_t memory_bytes() const noexcept {
+    if (rep_ == nullptr) return 0;
+    std::size_t bytes =
+        sizeof(Rep) + rep_->segs.capacity() * sizeof(Segment);
+    for (const Segment& s : rep_->segs) {
+      bytes += s.entries.capacity() + s.path.capacity();
+    }
+    return bytes;
+  }
+
+ private:
+  static constexpr std::size_t kRecordBytes = 2;
+  /// Deepest segment-relative level a record can hold; append() starts a
+  /// fresh segment past this depth.
+  static constexpr std::size_t kMaxLevel = 255;
+
+  struct Segment {
+    Node base{};                       ///< full node; level-0 entry when live
+    std::size_t entry_head = 0;        ///< consumed record bytes at the front
+    std::vector<std::uint8_t> entries; ///< 2-byte records {level8, delta8}
+    std::vector<std::uint8_t> path;    ///< deltas base -> last popped node
+  };
+
+  struct Rep {
+    std::vector<Segment> segs;  ///< bottom segment first
+    Node cur{};       ///< node at the top segment's full path depth
+    bool cur_valid = false;
+  };
+
+  Rep& rep() {
+    if (rep_ == nullptr) rep_ = std::make_unique<Rep>();
+    return *rep_;
+  }
+
+  static void push_record(Segment& s, std::uint8_t level, std::uint8_t delta) {
+    // Record storage doubles like WorkStack's ring: steady state stays in
+    // retained capacity.
+    // SIMDLINT-EFFECT-OK(allocates) amortized growth, see above
+    s.entries.push_back(level);
+    // SIMDLINT-EFFECT-OK(allocates) amortized growth, see above
+    s.entries.push_back(delta);
+  }
+
+  static void read_record(const Segment& s, std::size_t off,
+                          std::uint8_t& level, std::uint8_t& delta) {
+    level = s.entries[off];
+    delta = s.entries[off + 1];
+  }
+
+  /// Makes the cached materialization sit at path depth `k` of segment `s`
+  /// (truncating the path), by O(1) undos when the problem provides them,
+  /// otherwise by replaying the path prefix from the base.
+  void backtrack_to(Rep& r, Segment& s, std::size_t k) {
+    if (r.cur_valid) {
+      if (s.path.size() == k) return;
+      if constexpr (UndoDeltaProblem<Pr>) {
+        while (s.path.size() > k) {
+          const std::size_t d = s.path.size();
+          r.cur = d == 1 ? s.base
+                         : problem_->undo_delta(r.cur, s.path[d - 1],
+                                                s.path[d - 2]);
+          s.path.pop_back();
+        }
+        return;
+      }
+    }
+    s.path.resize(k);
+    r.cur = s.base;
+    for (const std::uint8_t d : s.path) {
+      r.cur = problem_->decode_delta(r.cur, d);
+    }
+    r.cur_valid = true;
+  }
+
+  /// Materializes an entry of segment `s` without touching the cached state:
+  /// read-only replay of the path prefix (take_bottom / split).
+  [[nodiscard]] Node materialize(const Segment& s, std::uint8_t level,
+                                 std::uint8_t delta) const {
+    if (level == 0) return s.base;
+    Node m = s.base;
+    for (std::size_t i = 0; i + 1 < level; ++i) {
+      m = problem_->decode_delta(m, s.path[i]);
+    }
+    return problem_->decode_delta(m, delta);
+  }
+
+  std::unique_ptr<Rep> rep_;
+  std::size_t size_ = 0;
+  const Pr* problem_ = nullptr;
+};
+
+/// Split strategies over a CompactStack (same contract as the WorkStack
+/// overload in splitter.hpp).  kBottomNode / kTopNode move one materialized
+/// node; kHalf — used only by the split-quality ablation — materializes the
+/// whole stack and rebuilds the kept half as self-contained segments, giving
+/// up the delta encoding for those entries (documented memory trade-off in
+/// docs/performance.md).
+template <DeltaTreeProblem Pr>
+[[nodiscard]] std::vector<typename Pr::Node> split(CompactStack<Pr>& donor,
+                                                   SplitStrategy strategy) {
+  std::vector<typename Pr::Node> donated;
+  switch (strategy) {
+    case SplitStrategy::kBottomNode:
+      donated.push_back(donor.take_bottom());
+      break;
+    case SplitStrategy::kTopNode:
+      donated.push_back(donor.pop());
+      break;
+    case SplitStrategy::kHalf: {
+      std::vector<typename Pr::Node> all;
+      donor.drain_into(all);
+      donated.reserve((all.size() + 1) / 2);
+      for (std::size_t i = 0; i < all.size(); ++i) {
+        if (i % 2 == 0) {
+          donated.push_back(all[i]);
+        } else {
+          donor.push(all[i]);
+        }
+      }
+      break;
+    }
+  }
+  return donated;
+}
+
+/// Appends donated nodes in bottom-to-top order (each becomes a segment
+/// base, so received work is self-contained on the new owner).
+template <DeltaTreeProblem Pr>
+void receive(CompactStack<Pr>& receiver,
+             std::vector<typename Pr::Node>&& donated) {
+  for (auto& n : donated) {
+    receiver.push(std::move(n));
+  }
+  donated.clear();
+}
+
+}  // namespace simdts::search

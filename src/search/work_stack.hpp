@@ -165,6 +165,40 @@ class WorkStack {
     head_ = 0;
   }
 
+  /// Slots currently allocated (zero or a power of two).
+  [[nodiscard]] std::size_t capacity() const noexcept { return cap_; }
+
+  /// Heap bytes of the backing buffer (the bytes-per-lane metric of the
+  /// mega-P benchmarks; the header is excluded, as in
+  /// CompactStack::memory_bytes).
+  [[nodiscard]] std::size_t memory_bytes() const noexcept {
+    return cap_ * sizeof(Node);
+  }
+
+  /// Returns surplus capacity to the allocator: an empty stack releases its
+  /// buffer entirely (the pooled-release path for lanes that drained after
+  /// donating), a non-empty one re-homes into the smallest power-of-two
+  /// buffer that fits.  The ring otherwise only grows, so without this a
+  /// lane that once held a deep stack pins that memory for the whole run.
+  void shrink_to_fit() {
+    if (size_ == 0) {
+      release();
+      return;
+    }
+    std::size_t new_cap = 8;
+    while (new_cap < size_) new_cap *= 2;
+    if (new_cap >= cap_) return;
+    Node* new_slots = std::allocator<Node>().allocate(new_cap);
+    for (std::size_t i = 0; i < size_; ++i) {
+      ::new (static_cast<void*>(new_slots + i)) Node(std::move(*slot_ptr(i)));
+      slot_ptr(i)->~Node();
+    }
+    std::allocator<Node>().deallocate(slots_, cap_);
+    slots_ = new_slots;
+    cap_ = new_cap;
+    head_ = 0;
+  }
+
   /// Moves every node into `out` in bottom-to-top order, leaving the stack
   /// empty.  Fault recovery uses this to journal a killed PE's unexpanded
   /// intervals: the order matters, because re-donating bottom-first keeps the

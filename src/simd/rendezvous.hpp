@@ -13,10 +13,15 @@
 #include <vector>
 
 #include "simd/bitplane.hpp"
+#include "simd/summary.hpp"
 
 namespace simdts::simd {
 
-/// Index of a processing element in the machine.
+/// Index of a processing element in the machine.  32 bits bound the
+/// supported machine envelope at P < 2^32 — four thousand times the
+/// P = 2^20 the mega-P sweeps exercise — and every rank/index on the P axis
+/// uses this width (no narrower type appears on that axis; a regression at
+/// non-power-of-64 P > 2^16 is pinned by tests/test_mega_p.cpp).
 using PeIndex = std::uint32_t;
 inline constexpr PeIndex kNoPe = static_cast<PeIndex>(-1);
 
@@ -77,5 +82,26 @@ void ranked_into(const BitPlane& flags, PeIndex start_after,
 
 [[nodiscard]] std::vector<PeIndex> ranked(const BitPlane& flags,
                                           PeIndex start_after = kNoPe);
+
+// --- Hierarchical (summary-aware) kernels -----------------------------------
+//
+// The flat packed walks above still load every plane word: O(P/64) per phase
+// regardless of occupancy.  These overloads consult a SummaryPlane (one bit
+// per plane word) to hop straight between occupied words, so a phase scales
+// with the number of occupied words, not with P — the common sparse case at
+// mega-P.  Outputs are bit-identical to the flat kernels on the same
+// occupancy pattern: a clear summary bit guarantees a zero word, so skipping
+// it cannot change the enumeration (pinned by tests/test_summary.cpp).
+
+/// As the packed rendezvous_into(), hopping via each plane's summary.
+void rendezvous_into(const BitPlane& donor_flags,
+                     const SummaryPlane& donor_summary,
+                     const BitPlane& receiver_flags,
+                     const SummaryPlane& receiver_summary, PeIndex start_after,
+                     std::size_t limit, std::vector<Pair>& out);
+
+/// As the packed ranked_into(), hopping via the plane's summary.
+void ranked_into(const BitPlane& flags, const SummaryPlane& summary,
+                 PeIndex start_after, std::vector<PeIndex>& out);
 
 }  // namespace simdts::simd

@@ -30,7 +30,10 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::run_lane(unsigned lane) {
-  const std::size_t chunk = (n_ + lanes_ - 1) / lanes_;
+  std::size_t chunk = (n_ + lanes_ - 1) / lanes_;
+  if (align_ > 1) {
+    chunk = (chunk + align_ - 1) / align_ * align_;
+  }
   const std::size_t begin = std::min(n_, lane * chunk);
   const std::size_t end = std::min(n_, begin + chunk);
   if (begin < end) {
@@ -59,7 +62,8 @@ void ThreadPool::worker(unsigned lane) {
   }
 }
 
-void ThreadPool::dispatch(std::size_t n, void* ctx, Trampoline fn) {
+void ThreadPool::dispatch(std::size_t n, std::size_t align, void* ctx,
+                          Trampoline fn) {
   if (n == 0) return;
   if (lanes_ == 1) {
     fn(ctx, 0, 0, n);
@@ -68,6 +72,7 @@ void ThreadPool::dispatch(std::size_t n, void* ctx, Trampoline fn) {
   {
     std::unique_lock lock(mu_);
     n_ = n;
+    align_ = align == 0 ? 1 : align;
     ctx_ = ctx;
     fn_ = fn;
     std::fill(errors_.begin(), errors_.end(), nullptr);

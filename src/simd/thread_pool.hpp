@@ -62,7 +62,24 @@ class ThreadPool {
   template <typename F>
   void parallel_for_lanes(std::size_t n, F&& body) {
     using Fn = std::remove_reference_t<F>;
-    dispatch(n, const_cast<std::remove_const_t<Fn>*>(std::addressof(body)),
+    dispatch(n, 1,
+             const_cast<std::remove_const_t<Fn>*>(std::addressof(body)),
+             [](void* ctx, unsigned lane, std::size_t begin, std::size_t end) {
+               (*static_cast<Fn*>(ctx))(lane, begin, end);
+             });
+  }
+
+  /// As parallel_for_lanes, but every chunk boundary is a multiple of
+  /// `align` (the last chunk still ends at n).  The engine uses align == 64
+  /// plane words so each 64-word summary block — one summary *word* — has a
+  /// single writer per cycle.  Alignment only moves chunk boundaries between
+  /// lanes; per-index work is unchanged, so results stay bit-identical to the
+  /// unaligned partition.
+  template <typename F>
+  void parallel_for_lanes_aligned(std::size_t n, std::size_t align, F&& body) {
+    using Fn = std::remove_reference_t<F>;
+    dispatch(n, align,
+             const_cast<std::remove_const_t<Fn>*>(std::addressof(body)),
              [](void* ctx, unsigned lane, std::size_t begin, std::size_t end) {
                (*static_cast<Fn*>(ctx))(lane, begin, end);
              });
@@ -71,7 +88,7 @@ class ThreadPool {
  private:
   using Trampoline = void (*)(void*, unsigned, std::size_t, std::size_t);
 
-  void dispatch(std::size_t n, void* ctx, Trampoline fn);
+  void dispatch(std::size_t n, std::size_t align, void* ctx, Trampoline fn);
   void worker(unsigned lane);
   void run_lane(unsigned lane);
 
@@ -87,6 +104,7 @@ class ThreadPool {
 
   // Per-dispatch state (valid while pending_ > 0).
   std::size_t n_ = 0;
+  std::size_t align_ = 1;
   void* ctx_ = nullptr;
   Trampoline fn_ = nullptr;
   std::vector<std::exception_ptr> errors_;

@@ -66,6 +66,45 @@ TEST(WorkStack, ClearEmpties) {
   EXPECT_TRUE(s.empty());
 }
 
+TEST(WorkStack, ShrinkToFitDropsCapacity) {
+  WorkStack<int> s;
+  for (int i = 0; i < 1000; ++i) s.push(i);
+  const std::size_t grown_cap = s.capacity();
+  const std::size_t grown_bytes = s.memory_bytes();
+  EXPECT_GE(grown_cap, 1000u);
+  EXPECT_EQ(grown_bytes, grown_cap * sizeof(int));
+  while (s.size() > 10) (void)s.pop();
+  s.shrink_to_fit();
+  EXPECT_LT(s.capacity(), grown_cap);
+  EXPECT_LE(s.capacity(), 16u);  // smallest power of two >= max(size, 8)
+  EXPECT_LT(s.memory_bytes(), grown_bytes);
+  // Contents survive the re-home, in order.
+  for (int i = 9; i >= 0; --i) EXPECT_EQ(s.pop(), i);
+  // The pooled-release path: an empty stack frees its buffer entirely.
+  s.shrink_to_fit();
+  EXPECT_EQ(s.capacity(), 0u);
+  EXPECT_EQ(s.memory_bytes(), 0u);
+}
+
+TEST(WorkStack, ShrinkToFitPreservesWrappedRing) {
+  WorkStack<int> s;
+  for (int i = 0; i < 100; ++i) s.push(i);  // capacity 128
+  // Rotate the live window to the physical end, then push across it so the
+  // ring wraps — shrink must re-home both runs in order.
+  for (int i = 0; i < 90; ++i) (void)s.take_bottom();
+  for (int i = 0; i < 30; ++i) s.push(100 + i);
+  ASSERT_EQ(s.size(), 40u);
+  const std::size_t old_cap = s.capacity();
+  s.shrink_to_fit();
+  EXPECT_LT(s.capacity(), old_cap);
+  std::vector<int> got;
+  while (!s.empty()) got.push_back(s.take_bottom());
+  std::vector<int> want;
+  for (int i = 90; i < 100; ++i) want.push_back(i);
+  for (int i = 0; i < 30; ++i) want.push_back(100 + i);
+  EXPECT_EQ(got, want);
+}
+
 TEST(WorkStack, MoveOnlyPayload) {
   WorkStack<std::unique_ptr<int>> s;
   s.push(std::make_unique<int>(5));

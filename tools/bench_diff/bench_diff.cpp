@@ -262,17 +262,18 @@ struct Checker {
   // Honesty cross-check: a recorded speedup must equal the ratio of the
   // recorded timings (2% slack for rounding in the harness's printf).
   void check_ratio(const Value& obj, const std::string& path,
-                   const char* num_key, const char* den_key) {
+                   const char* num_key, const char* den_key,
+                   const char* ratio_key = "speedup") {
     const Value* n = obj.find(num_key);
     const Value* d = obj.find(den_key);
-    const Value* s = obj.find("speedup");
+    const Value* s = obj.find(ratio_key);
     if (!n || !d || !s || d->number <= 0.0) return;
     const double ratio = n->number / d->number;
     if (std::fabs(ratio - s->number) > 0.02 * ratio + 1e-9)
-      fail(path + ".speedup", "does not match " + std::string(num_key) + "/" +
-                                  den_key + " (claims " +
-                                  std::to_string(s->number) + ", timings say " +
-                                  std::to_string(ratio) + ")");
+      fail(path + "." + ratio_key,
+           "does not match " + std::string(num_key) + "/" + den_key +
+               " (claims " + std::to_string(s->number) + ", timings say " +
+               std::to_string(ratio) + ")");
   }
 };
 
@@ -400,6 +401,60 @@ void check_schema(Checker& c, const Value& root) {
         c.fail(path, "must be an object");
       else
         check_kernel(c, path, *k);
+    }
+  }
+
+  if (const Value* mp = c.need(root, "$", "mega_p", Value::Kind::kObject)) {
+    if (const Value* bl = c.need(*mp, "$.mega_p", "bytes_per_lane",
+                                 Value::Kind::kObject)) {
+      const std::string path = "$.mega_p.bytes_per_lane";
+      c.need(*bl, path, "workload", Value::Kind::kString);
+      for (const char* key : {"descent_steps", "full_avg", "compact_avg",
+                              "ratio", "full_peak", "compact_peak",
+                              "peak_ratio"})
+        c.need_number(*bl, path, key);
+      c.check_ratio(*bl, path, "full_avg", "compact_avg", "ratio");
+      c.check_ratio(*bl, path, "full_peak", "compact_peak", "peak_ratio");
+      // The claim the compact representation is shipped for: a committed
+      // entry below 4x documents a memory regression, which is a finding.
+      const Value* ratio = bl->find("ratio");
+      if (ratio && ratio->kind == Value::Kind::kNumber && ratio->number < 4.0)
+        c.fail(path + ".ratio",
+               "below the 4x the memory-bounded stacks are shipped for");
+    }
+    c.need_true(*mp, "$.mega_p", "pairs_identical_flat_vs_hier");
+    if (const Value* sizes =
+            c.need(*mp, "$.mega_p", "sizes", Value::Kind::kArray)) {
+      if (sizes->array.empty()) c.fail("$.mega_p.sizes", "must not be empty");
+      double prev_p = 0.0;
+      for (std::size_t i = 0; i < sizes->array.size(); ++i) {
+        const std::string path = "$.mega_p.sizes[" + std::to_string(i) + "]";
+        const Value& m = *sizes->array[i];
+        if (m.kind != Value::Kind::kObject) {
+          c.fail(path, "must be an object");
+          continue;
+        }
+        for (const char* key :
+             {"p", "engine_full_avg_per_lane", "engine_compact_avg_per_lane",
+              "engine_ratio", "lb_phase_flat_ns", "lb_phase_hier_ns",
+              "lb_phase_speedup"})
+          c.need_number(m, path, key);
+        c.check_ratio(m, path, "engine_full_avg_per_lane",
+                      "engine_compact_avg_per_lane", "engine_ratio");
+        c.check_ratio(m, path, "lb_phase_flat_ns", "lb_phase_hier_ns",
+                      "lb_phase_speedup");
+        const Value* p = m.find("p");
+        if (p && p->kind == Value::Kind::kNumber) {
+          if (p->number <= prev_p)
+            c.fail(path + ".p", "machine sizes must be strictly increasing");
+          prev_p = p->number;
+        }
+      }
+      // The whole point of the sweep: the last entry must reach 2^20 lanes.
+      const Value& last = *sizes->array.back();
+      const Value* p = last.find("p");
+      if (p && p->kind == Value::Kind::kNumber && p->number < 1048576.0)
+        c.fail("$.mega_p.sizes", "sweep must reach P = 2^20");
     }
   }
 }
