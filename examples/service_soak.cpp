@@ -12,6 +12,7 @@
 //   ./build/examples/service_soak [requests] [--expect-counters "<line>"]
 #include <cstdint>
 #include <cstdio>
+#include <filesystem>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -34,6 +35,10 @@ int run(int argc, char** argv) {
       n = std::stoul(arg);
     }
   }
+
+  // Scratch journals live under bench_out/ with the other benchmark
+  // artifacts, not at the repo root.
+  std::filesystem::create_directories("bench_out");
 
   const auto trace = service::random_trace(20260808, n, 4);
   const auto plan = fault::ServiceFaultPlan::random(
@@ -59,7 +64,7 @@ int run(int argc, char** argv) {
   } runs[] = {{"run1(t2)", 2}, {"run2(t2)", 2}, {"t1", 1}, {"t8", 8}};
   for (const auto& r : runs) {
     const std::string cache_path =
-        std::string("service_soak_cache_") + r.label + ".journal";
+        std::string("bench_out/service_soak_cache_") + r.label + ".journal";
     std::remove(cache_path.c_str());
     service::ServiceConfig run_cfg = cfg;
     run_cfg.threads = r.threads;
@@ -111,7 +116,7 @@ int run(int argc, char** argv) {
   {
     service::ServiceConfig warm_cfg = cfg;
     warm_cfg.threads = 2;
-    warm_cfg.cache_path = "service_soak_cache_run1(t2).journal";
+    warm_cfg.cache_path = "bench_out/service_soak_cache_run1(t2).journal";
     service::SolveService warm(warm_cfg);
     warm.arm_faults(plan);
     const auto responses = warm.run_trace(trace);

@@ -452,7 +452,7 @@ class Engine {
   struct LaneScratch {
     std::int64_t d_nonempty = 0;    ///< minus the lanes that ran dry
     std::int64_t d_splittable = 0;  ///< splittable transitions, either way
-    std::uint64_t goals = 0;
+    std::uint64_t goal_hits = 0;
     std::vector<Node> goal_nodes;
     std::vector<Node> children;  ///< flat staging buffer, cleared per word
     search::NextBound next_bound;
@@ -487,7 +487,7 @@ class Engine {
     for (auto& ls : lane_scratch_) {
       ls.d_nonempty = 0;
       ls.d_splittable = 0;
-      ls.goals = 0;
+      ls.goal_hits = 0;
       ls.goal_nodes.clear();
       ls.next_bound = search::NextBound{};
     }
@@ -498,6 +498,7 @@ class Engine {
     const std::size_t nwords = idle_flags_.word_count();
     const std::uint64_t last_mask = idle_flags_.word_mask(nwords - 1);
     simd::ThreadPool* pool = machine_.pool();
+    // SIMDLINT-SOURCE(partition) — lane index and word-range bounds vary
     auto body = [&, bound](unsigned lane, std::size_t wbegin,
                            std::size_t wend) {
       LaneScratch& ls = lane_scratch_[lane];
@@ -548,7 +549,7 @@ class Engine {
           auto& st = stacks_[base + b];
           Node n = st.pop();
           if (problem_.is_goal(n)) {
-            ++ls.goals;
+            ++ls.goal_hits;
             // SIMDLINT-EFFECT-OK(allocates) capacity min(P, 4096) reserved
             ls.goal_nodes.push_back(std::move(n));  // at construction; only
             // a terminal goal burst past the cap grows it, amortized.
@@ -620,13 +621,14 @@ class Engine {
   /// first, then lane 1, ... — bit-identical for any lane count.  Shared by
   /// both execution backends (the reduction is where the determinism
   /// guarantee lives, so there is exactly one copy of it).
+  // SIMDLINT-MERGE(commutative) — fixed lane order, thread-count-invariant
   void reduce_cycle_scratch(IterationStats& stats) {
     std::int64_t d_nonempty = 0;
     std::int64_t d_splittable = 0;
     for (auto& ls : lane_scratch_) {
       d_nonempty += ls.d_nonempty;
       d_splittable += ls.d_splittable;
-      stats.goals_found += ls.goals;
+      stats.goals_found += ls.goal_hits;
       next_bound_.merge(ls.next_bound);
       // SIMDLINT-EFFECT-OK(allocates) goal recording is the run's output
       for (auto& g : ls.goal_nodes) goal_nodes_.push_back(std::move(g));
@@ -665,7 +667,7 @@ class Engine {
     for (auto& ls : lane_scratch_) {
       ls.d_nonempty = 0;
       ls.d_splittable = 0;
-      ls.goals = 0;
+      ls.goal_hits = 0;
       ls.goal_nodes.clear();
       ls.next_bound = search::NextBound{};
     }
@@ -676,6 +678,7 @@ class Engine {
     const std::size_t nwords = idle_flags_.word_count();
     const std::uint64_t last_mask = idle_flags_.word_mask(nwords - 1);
     simd::ThreadPool* pool = machine_.pool();
+    // SIMDLINT-SOURCE(partition) — lane index and word-range bounds vary
     auto body = [&, bound](unsigned lane, std::size_t wbegin,
                            std::size_t wend) {
       LaneScratch& ls = lane_scratch_[lane];
@@ -725,7 +728,7 @@ class Engine {
 #endif
           Node n = stacks_[base + b].pop();
           if (problem_.is_goal(n)) {
-            ++ls.goals;
+            ++ls.goal_hits;
             // SIMDLINT-EFFECT-OK(allocates) capacity min(P, 4096) reserved
             ls.goal_nodes.push_back(std::move(n));  // at construction; only
             // a terminal goal burst past the cap grows it, amortized.

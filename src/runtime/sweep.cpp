@@ -94,6 +94,7 @@ std::vector<TaskReport> run_tasks(SweepRunner& runner, std::size_t n,
                                   RetryPolicy policy) {
   std::vector<TaskReport> reports(n);
   const std::uint32_t max_attempts = std::max(policy.max_attempts, 1u);
+  // SIMDLINT-SOURCE(partition) — the slot index arrives on whichever worker
   runner.run(n, [&](std::size_t i) {
     TaskReport& r = reports[i];
     for (std::uint32_t attempt = 0;; ++attempt) {

@@ -29,6 +29,7 @@ ThreadPool::~ThreadPool() {
   }
 }
 
+// SIMDLINT-SOURCE(partition) — the chunk split depends on the lane count
 void ThreadPool::run_lane(unsigned lane) {
   std::size_t chunk = (n_ + lanes_ - 1) / lanes_;
   if (align_ > 1) {

@@ -17,6 +17,7 @@
 #include "simdlint/report.hpp"
 #include "simdlint/rules.hpp"
 #include "simdlint/symbols.hpp"
+#include "simdlint/taint.hpp"
 
 namespace {
 
@@ -935,18 +936,26 @@ TEST(SimdlintEffects, StaleConfRegionsFireOnFullRunsOnlyAndConfErrorsAlways) {
   const std::vector<std::pair<std::string, std::string>> sources = {
       {"src/lb/a.cpp",
        "namespace simdts::lb {\nvoid tick() {}\n}\n"}};
-  const std::string conf = "region lockstep simdts::lb::gone\n";
+  const std::string conf =
+      "# roots\nregion lockstep simdts::lb::tick\n"
+      "region lockstep simdts::lb::gone\n";
   const auto fs = effects(sources, conf);
   const Finding* f = only_rule(fs, "stale-region");
   ASSERT_NE(f, nullptr);
+  // Precise conf provenance: the declaration's own line and text, not the
+  // file as a whole.
   EXPECT_EQ(f->path, "tools/simdlint/effects.conf");
+  EXPECT_EQ(f->line, 3u);
+  EXPECT_EQ(f->excerpt, "region lockstep simdts::lb::gone");
   // Subset runs (--changed-files / explicit paths) legitimately see only a
   // slice of the tree: conf-wide staleness must stay quiet there.
   EXPECT_TRUE(effects(sources, conf, /*subset=*/true).empty());
-  // Malformed directives are findings in both modes.
-  EXPECT_NE(only_rule(effects(sources, "regoin lockstep x\n", true),
-                      "effects-conf-error"),
-            nullptr);
+  // Malformed directives are findings in both modes, at their own line.
+  const auto bad = effects(sources, "# header\nregoin lockstep x\n", true);
+  const Finding* err = only_rule(bad, "effects-conf-error");
+  ASSERT_NE(err, nullptr);
+  EXPECT_EQ(err->line, 2u);
+  EXPECT_EQ(err->excerpt, "regoin lockstep x");
 }
 
 TEST(SimdlintRules, EffectCatalogCoversEveryCrossTuRule) {
@@ -961,6 +970,269 @@ TEST(SimdlintRules, EffectCatalogCoversEveryCrossTuRule) {
     EXPECT_NE(std::find(ids.begin(), ids.end(), expected), ids.end())
         << expected;
   }
+}
+
+// ---------------------------------------------------------------------------
+// Determinism-taint dataflow (simdlint v4): partition sources must not reach
+// result-bearing sinks except through a justified commutative merge.  Every
+// rule gets a true positive with its full witness chain AND the negative
+// that would make it cry wolf.
+// ---------------------------------------------------------------------------
+
+std::vector<Finding> taint(
+    const std::vector<std::pair<std::string, std::string>>& sources,
+    const std::string& conf, bool subset = false) {
+  std::vector<simdlint::SourceFile> files;
+  files.reserve(sources.size());
+  for (const auto& [path, code] : sources) {
+    files.push_back(simdlint::SourceFile::parse(path, code));
+  }
+  return simdlint::find_taint_findings(
+      files, simdlint::parse_effects_conf("tools/simdlint/effects.conf", conf),
+      subset);
+}
+
+TEST(SimdlintTaint, SourceToSinkThreeCallsDeepAcrossTusNamesEveryHop) {
+  const std::vector<std::pair<std::string, std::string>> sources = {
+      {"src/lb/a.cpp",
+       "namespace simdts::lb {\n"
+       "unsigned worker_base() { return 3u; }\n"
+       "void tally(Stats& s, unsigned off) {\n"
+       "  s.nodes_expanded = off;\n"
+       "}\n"
+       "}\n"},
+      {"src/lb/b.cpp",
+       "namespace simdts::lb {\n"
+       "void cycle(Stats& s) {\n"
+       "  unsigned base = worker_base();\n"
+       "  unsigned off = base + 1;\n"
+       "  tally(s, off);\n"
+       "}\n"
+       "}\n"}};
+  const std::string conf =
+      "source simdts::lb::worker_base\nsink member nodes_expanded\n";
+  const auto fs = taint(sources, conf);
+  const Finding* f = only_rule(fs, "taint-partition-to-result");
+  ASSERT_NE(f, nullptr);
+  EXPECT_EQ(f->path, "src/lb/a.cpp");
+  EXPECT_EQ(f->line, 4u);  // the `s.nodes_expanded = off` write
+  for (const char* hop :
+       {"worker_base: declared partition source",
+        "cycle: call to 'worker_base' returns tainted",
+        "cycle: base <- tainted", "cycle: off <- tainted",
+        "tally: parameter 'off' tainted via call from cycle",
+        "tally: s.nodes_expanded <- tainted", "[partition->result]"}) {
+    EXPECT_NE(f->message.find(hop), std::string::npos)
+        << hop << " missing from: " << f->message;
+  }
+  // The witness is also exported as a structured flow for SARIF codeFlows.
+  ASSERT_GE(f->flow.size(), 5u);
+  EXPECT_EQ(f->flow.front().path, "src/lb/a.cpp");  // source decl hop
+  EXPECT_EQ(f->flow.back().path, "src/lb/a.cpp");
+  EXPECT_EQ(f->flow.back().line, 4u);
+  // Mutation: drop the source declaration and the flow disappears (subset
+  // mode so the now-unmatched sink does not raise staleness instead).
+  EXPECT_TRUE(
+      taint(sources, "sink member nodes_expanded\n", /*subset=*/true).empty());
+}
+
+TEST(SimdlintTaint, PartitionedLoopBoundTaintsEveryWriteInTheBody) {
+  // The motivating bug: a `+=` added inside a word-partitioned loop is
+  // partition-dependent even when the written value is a constant — the
+  // bound decides how many times it runs per thread.
+  const std::string marked =
+      "namespace simdts::lb {\n"
+      "St g;\n"
+      "void cycle() {\n"
+      "  // SIMDLINT" "-SOURCE(partition)\n"
+      "  auto body = [](unsigned wbegin,\n"
+      "                 unsigned wend) {\n"
+      "    for (unsigned w = wbegin; w < wend; ++w) {\n"
+      "      g.nodes_expanded += 1;\n"
+      "    }\n"
+      "  };\n"
+      "  body(0u, 4u);\n"
+      "}\n"
+      "}\n";
+  const auto fs = taint({{"src/lb/a.cpp", marked}},
+                        "sink member nodes_expanded\n");
+  const Finding* f = only_rule(fs, "taint-partition-to-result");
+  ASSERT_NE(f, nullptr);
+  EXPECT_EQ(f->line, 8u);
+  EXPECT_NE(f->message.find("tainted loop bound"), std::string::npos)
+      << f->message;
+  // Mutation: same write under a fixed (partition-independent) bound is
+  // clean — the marker still taints wbegin/wend, but nothing flows.
+  const std::string fixed =
+      "namespace simdts::lb {\n"
+      "St g;\n"
+      "void cycle() {\n"
+      "  // SIMDLINT" "-SOURCE(partition)\n"
+      "  auto body = [](unsigned wbegin,\n"
+      "                 unsigned wend) {\n"
+      "    for (unsigned w = 0; w < 4; ++w) {\n"
+      "      g.nodes_expanded += 1;\n"
+      "    }\n"
+      "  };\n"
+      "  body(0u, 4u);\n"
+      "}\n"
+      "}\n";
+  EXPECT_TRUE(
+      taint({{"src/lb/a.cpp", fixed}}, "sink member nodes_expanded\n").empty());
+}
+
+TEST(SimdlintTaint, LaneIndexedSelectionIsNotAFlow) {
+  // Reading clean data through a partition-derived index is the per-lane
+  // state idiom, not a flow; assigning the index itself is.
+  const std::string select =
+      "namespace simdts::lb {\n"
+      "St g;\n"
+      "void cycle() {\n"
+      "  // SIMDLINT" "-SOURCE(partition)\n"
+      "  auto body = [](unsigned lane,\n"
+      "                 unsigned other) {\n"
+      "    g.nodes_expanded = g.table[lane];\n"
+      "  };\n"
+      "  body(0u, 1u);\n"
+      "}\n"
+      "}\n";
+  EXPECT_TRUE(
+      taint({{"src/lb/a.cpp", select}}, "sink member nodes_expanded\n")
+          .empty());
+  const std::string leak =
+      "namespace simdts::lb {\n"
+      "St g;\n"
+      "void cycle() {\n"
+      "  // SIMDLINT" "-SOURCE(partition)\n"
+      "  auto body = [](unsigned lane,\n"
+      "                 unsigned other) {\n"
+      "    g.nodes_expanded = lane;\n"
+      "  };\n"
+      "  body(0u, 1u);\n"
+      "}\n"
+      "}\n";
+  EXPECT_NE(only_rule(taint({{"src/lb/a.cpp", leak}},
+                            "sink member nodes_expanded\n"),
+                      "taint-partition-to-result"),
+            nullptr);
+}
+
+TEST(SimdlintTaint, CommutativeMergeLaundersAndOtherKindsAreUnjustified) {
+  const std::string justified =
+      "namespace simdts::lb {\n"
+      "unsigned lane_base() { return 1u; }\n"
+      "// SIMDLINT" "-MERGE(commutative)\n"
+      "void fold(St& s, unsigned v) {\n"
+      "  s.goals_found = v;\n"
+      "}\n"
+      "void cycle(St& s) {\n"
+      "  unsigned v = lane_base();\n"
+      "  fold(s, v);\n"
+      "}\n"
+      "}\n";
+  const std::string conf =
+      "source simdts::lb::lane_base\nsink member goals_found\n";
+  // Justified: the sink write happens inside the merge — no findings at
+  // all (and in particular no stale-merge: the merge laundered a flow).
+  EXPECT_TRUE(taint({{"src/lb/a.cpp", justified}}, conf).empty());
+  // A kind other than `commutative` is asserting something the analysis
+  // cannot accept: the merge is unjustified AND the flow still fires.
+  std::string ordered = justified;
+  const std::string from = "MERGE(commutative)";
+  ordered.replace(ordered.find(from), from.size(), "MERGE(ordered)");
+  const auto fs = taint({{"src/lb/a.cpp", ordered}}, conf);
+  EXPECT_NE(only_rule(fs, "merge-unjustified"), nullptr);
+  EXPECT_NE(only_rule(fs, "taint-partition-to-result"), nullptr);
+}
+
+TEST(SimdlintTaint, StaleDeclarationsPointAtTheConfLine) {
+  const std::vector<std::pair<std::string, std::string>> sources = {
+      {"src/lb/a.cpp", "namespace simdts::lb {\nvoid tick() {}\n}\n"}};
+  const std::string conf =
+      "source simdts::lb::ghost\n"
+      "sink member nowhere\n"
+      "merge commutative simdts::lb::ghost\n";
+  const auto fs = taint(sources, conf);
+  const Finding* src = only_rule(fs, "stale-source");
+  const Finding* snk = only_rule(fs, "stale-sink");
+  const Finding* mrg = only_rule(fs, "stale-merge");
+  ASSERT_NE(src, nullptr);
+  ASSERT_NE(snk, nullptr);
+  ASSERT_NE(mrg, nullptr);
+  // Precise conf provenance: file, the declaration's own line, its text.
+  EXPECT_EQ(src->path, "tools/simdlint/effects.conf");
+  EXPECT_EQ(src->line, 1u);
+  EXPECT_EQ(src->excerpt, "source simdts::lb::ghost");
+  EXPECT_EQ(snk->line, 2u);
+  EXPECT_EQ(snk->excerpt, "sink member nowhere");
+  EXPECT_EQ(mrg->line, 3u);
+  EXPECT_EQ(mrg->excerpt, "merge commutative simdts::lb::ghost");
+  // Conf-wide staleness is a full-run property; subset runs stay quiet.
+  EXPECT_TRUE(taint(sources, conf, /*subset=*/true).empty());
+}
+
+TEST(SimdlintTaint, OrphanedMarkersAreStaleEvenInSubsetRuns) {
+  // A marker that covers no declaration taints nothing: intra-file
+  // staleness, checked in every mode.
+  const std::string orphan =
+      "namespace simdts::lb {\n"
+      "void tick() {\n"
+      "  int x = 0;\n"
+      "}\n"
+      "}\n"
+      "// SIMDLINT" "-SOURCE(partition)\n";
+  const auto fs = taint({{"src/lb/a.cpp", orphan}}, "", /*subset=*/true);
+  const Finding* f = only_rule(fs, "stale-source");
+  ASSERT_NE(f, nullptr);
+  EXPECT_EQ(f->path, "src/lb/a.cpp");
+  EXPECT_EQ(f->line, 6u);
+  // An unattached merge marker is stale the same way.
+  const std::string merge_orphan =
+      "namespace simdts::lb {\n"
+      "void tick() {\n"
+      "  int x = 0;\n"
+      "  // SIMDLINT" "-MERGE(commutative)\n"
+      "  x = 1;\n"
+      "}\n"
+      "}\n";
+  const Finding* m = only_rule(
+      taint({{"src/lb/a.cpp", merge_orphan}}, "", /*subset=*/true),
+      "stale-merge");
+  ASSERT_NE(m, nullptr);
+  EXPECT_EQ(m->line, 4u);
+}
+
+TEST(SimdlintRules, TaintCatalogCoversEveryRule) {
+  const auto catalog = simdlint::taint_rule_catalog();
+  std::vector<std::string> ids;
+  ids.reserve(catalog.size());
+  for (const auto& [id, desc] : catalog) ids.push_back(id);
+  for (const char* expected :
+       {"taint-partition-to-result", "merge-unjustified", "stale-source",
+        "stale-sink", "stale-merge"}) {
+    EXPECT_NE(std::find(ids.begin(), ids.end(), expected), ids.end())
+        << expected;
+  }
+}
+
+TEST(SimdlintReport, SarifExportsTaintWitnessesAsCodeFlows) {
+  const auto fs = taint(
+      {{"src/lb/a.cpp",
+        "namespace simdts::lb {\n"
+        "unsigned worker_base() { return 3u; }\n"
+        "void cycle(Stats& s) {\n"
+        "  s.nodes_expanded = worker_base();\n"
+        "}\n"
+        "}\n"}},
+      "source simdts::lb::worker_base\nsink member nodes_expanded\n");
+  ASSERT_FALSE(fs.empty());
+  std::ostringstream os;
+  simdlint::sarif_report(os, fs, simdlint::tally(fs, 1));
+  const std::string out = os.str();
+  EXPECT_NE(out.find("\"codeFlows\""), std::string::npos);
+  EXPECT_NE(out.find("\"threadFlows\""), std::string::npos);
+  EXPECT_NE(out.find("declared partition source"), std::string::npos);
+  EXPECT_NE(out.find("s.nodes_expanded <- tainted"), std::string::npos);
 }
 
 TEST(SimdlintReport, SarifReportCarriesRulesResultsAndFingerprints) {

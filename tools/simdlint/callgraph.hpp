@@ -1,0 +1,70 @@
+// simdlint: shared call-resolution layer.
+//
+// Both cross-TU analyses — the v3 effect reachability pass (effects.hpp) and
+// the v4 determinism-taint pass (taint.hpp) — need the same answer to the
+// same question: "which repo function definitions can this call site reach?"
+// Keeping one resolver means the two passes can never drift apart on
+// receiver handling, static filtering, or the ubiquitous-member-name rules,
+// and a resolution fix lands in both at once.
+//
+// Resolution policy (token-level, optimistic about external code):
+//   * qualified calls (`a::b::foo(...)`) match repo definitions whose
+//     qualified name ends with the written name at a `::` component
+//     boundary;
+//   * bare and member calls match by last name;
+//   * a receiver call (`p.foo(...)`) targets an instance member, so static
+//     definitions never match, and a receiver other than `this` is a call
+//     on *some other object* — never the caller recursing;
+//   * member-call names ubiquitous across std:: containers (`size`, `clear`,
+//     `reset`, ...) never resolve through an explicit non-this receiver, and
+//     bare/this-> uses resolve only within the caller's own class;
+//   * `std::`-qualified (and `__`-prefixed) calls never resolve to repo
+//     code.
+// An empty candidate list means "external": the caller falls back to its
+// intrinsic tables or trusts the callee.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "simdlint/symbols.hpp"
+
+namespace simdlint {
+
+/// True when `qualified` ends with `pattern` at a component boundary.
+bool suffix_match(const std::string& qualified, const std::string& pattern);
+
+/// Method names so ubiquitous across std:: containers, atomics, and smart
+/// pointers that a member call through them must never resolve to repo
+/// definitions: `counts_.size()` is the vector's size, not every repo
+/// function named `size`.
+const std::set<std::string>& ubiquitous_member_calls();
+
+/// The per-definition facts call resolution consumes.  Analyses build one
+/// entry per extracted FunctionDef, in the same index order as their own
+/// node arrays.
+struct FnInfo {
+  std::string qualified;   // "simdts::lb::Engine::expand_cycle"
+  std::string short_name;  // "expand_cycle"
+  bool is_static = false;
+};
+
+/// Resolves call sites against a fixed set of repo function definitions.
+class CallResolver {
+ public:
+  explicit CallResolver(std::vector<FnInfo> fns);
+
+  /// Candidate definition indices for `call`, made from definition
+  /// `caller`.  Empty means the call is external.
+  [[nodiscard]] std::vector<std::size_t> resolve(std::size_t caller,
+                                                 const CallSite& call) const;
+
+ private:
+  std::vector<FnInfo> fns_;
+  std::map<std::string, std::vector<std::size_t>> by_last_name_;
+};
+
+}  // namespace simdlint

@@ -5,6 +5,7 @@
 #include <set>
 #include <sstream>
 
+#include "simdlint/callgraph.hpp"
 #include "simdlint/symbols.hpp"
 
 namespace simdlint {
@@ -51,37 +52,6 @@ const std::set<std::string>& lock_member_calls() {
 const std::set<std::string>& lock_free_calls() {
   static const std::set<std::string> kNames = {"atomic_thread_fence"};
   return kNames;
-}
-
-// Method names so ubiquitous across std:: containers, atomics, and smart
-// pointers that a member call through them must never resolve to repo
-// definitions: `counts_.size()` is the vector's size, not every repo
-// function named `size`.  Member calls on these names take their effect (if
-// any) from the intrinsic tables alone; bare calls on these names only
-// resolve within the caller's own class.
-const std::set<std::string>& ubiquitous_member_calls() {
-  static const std::set<std::string> kNames = {
-      "size",   "empty",    "begin",     "end",      "cbegin",   "cend",
-      "rbegin", "rend",     "data",      "at",       "front",    "back",
-      "clear",  "count",    "find",      "contains", "load",     "store",
-      "get",    "reset",    "release",   "swap",     "top",      "pop",
-      "pop_back", "pop_front", "c_str",  "str",      "length",   "value",
-      "has_value", "substr", "compare",  "erase",    "first",    "second",
-      "fill",   "min",      "max",       "test",
-  };
-  return kNames;
-}
-
-/// True when `qualified` ends with `pattern` at a component boundary.
-bool suffix_match(const std::string& qualified, const std::string& pattern) {
-  if (pattern.empty() || qualified.size() < pattern.size()) return false;
-  if (qualified.compare(qualified.size() - pattern.size(), pattern.size(),
-                        pattern) != 0) {
-    return false;
-  }
-  if (qualified.size() == pattern.size()) return true;
-  const std::size_t at = qualified.size() - pattern.size();
-  return at >= 2 && qualified.compare(at - 2, 2, "::") == 0;
 }
 
 struct Edge {
@@ -262,10 +232,20 @@ EffectConfig parse_effects_conf(std::string path, const std::string& text) {
     } else if (words[0] == "assume" && words.size() == 3 &&
                valid_effects().count(words[1]) > 0) {
       config.assumes.push_back(AssumeDecl{words[1], words[2], line, trimmed()});
+    } else if (words[0] == "source" && words.size() == 2) {
+      config.sources.push_back(SourceDecl{words[1], line, trimmed()});
+    } else if (words[0] == "sink" && words.size() == 3 &&
+               words[1] == "member") {
+      config.sinks.push_back(SinkDecl{words[2], true, line, trimmed()});
+    } else if (words[0] == "sink" && words.size() == 2) {
+      config.sinks.push_back(SinkDecl{words[1], false, line, trimmed()});
+    } else if (words[0] == "merge" && words.size() == 3) {
+      config.merges.push_back(MergeDecl{words[1], words[2], line, trimmed()});
     } else {
       config.errors.push_back(ConfError{
           "malformed directive (expected 'region <lockstep|serial> "
-          "<suffix>' or 'assume <effect> <suffix>')",
+          "<suffix>', 'assume <effect> <suffix>', 'source <suffix>', "
+          "'sink [member] <suffix>', or 'merge <kind> <suffix>')",
           line, trimmed()});
     }
   }
@@ -348,11 +328,14 @@ std::vector<Finding> find_effect_findings(const std::vector<SourceFile>& files,
     }
   }
 
-  // Name indices for resolution.
-  std::map<std::string, std::vector<std::size_t>> by_last_name;
-  for (std::size_t i = 0; i < nodes.size(); ++i) {
-    by_last_name[nodes[i].def.short_name].push_back(i);
+  // Shared call resolution (callgraph.hpp), one FnInfo per node.
+  std::vector<FnInfo> fn_infos;
+  fn_infos.reserve(nodes.size());
+  for (const Node& n : nodes) {
+    fn_infos.push_back(FnInfo{n.def.qualified, n.def.short_name,
+                              n.def.is_static});
   }
+  const CallResolver resolver(std::move(fn_infos));
 
   // EFFECT-OK directive instances, for absolution + staleness.
   std::vector<EffectOk> oks;
@@ -383,61 +366,7 @@ std::vector<Finding> find_effect_findings(const std::vector<SourceFile>& files,
   for (std::size_t i = 0; i < nodes.size(); ++i) {
     Node& node = nodes[i];
     for (const CallSite& call : node.def.calls) {
-      std::vector<std::size_t> candidates;
-      if (!call.std_qualified) {
-        if (call.written.find("::") != std::string::npos) {
-          for (std::size_t j = 0; j < nodes.size(); ++j) {
-            if (suffix_match(nodes[j].def.qualified, call.written)) {
-              candidates.push_back(j);
-            }
-          }
-        } else {
-          const auto it = by_last_name.find(call.last_name);
-          if (it != by_last_name.end()) candidates = it->second;
-        }
-        // A receiver call (`p.foo(...)`) targets an instance member: static
-        // functions only dispatch by qualified name, so they never match.
-        if (call.has_receiver) {
-          candidates.erase(
-              std::remove_if(candidates.begin(), candidates.end(),
-                             [&](std::size_t j) {
-                               return nodes[j].def.is_static;
-                             }),
-              candidates.end());
-        }
-        // A member call with an explicit receiver other than `this` is a
-        // call on *some other object* — never the caller recursing.
-        if (call.has_receiver && !call.receiver_this) {
-          candidates.erase(
-              std::remove(candidates.begin(), candidates.end(), i),
-              candidates.end());
-        }
-        if (call.written.find("::") == std::string::npos &&
-            ubiquitous_member_calls().count(call.last_name) > 0) {
-          if (call.has_receiver && !call.receiver_this) {
-            // `v.size()` names the container's API, not repo code.
-            candidates.clear();
-          } else {
-            // Bare or this-> calls stay honest for real recursion, but only
-            // within the caller's own class; a free function's bare `size()`
-            // is std/ADL, not a method of some unrelated class.
-            const std::string& q = node.def.qualified;
-            const std::size_t cut = q.rfind("::");
-            if (cut == std::string::npos) {
-              candidates.clear();
-            } else {
-              const std::string prefix = q.substr(0, cut + 2);
-              candidates.erase(
-                  std::remove_if(candidates.begin(), candidates.end(),
-                                 [&](std::size_t j) {
-                                   return nodes[j].def.qualified.compare(
-                                              0, prefix.size(), prefix) != 0;
-                                 }),
-                  candidates.end());
-            }
-          }
-        }
-      }
+      const std::vector<std::size_t> candidates = resolver.resolve(i, call);
       if (!candidates.empty()) {
         for (const std::size_t j : candidates) {
           Edge e;

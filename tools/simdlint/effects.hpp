@@ -72,16 +72,51 @@ struct ConfError {
   std::string text;
 };
 
+/// `source <qualified-suffix>`: a function whose return value is
+/// partition-derived (worker counts, lane indices).  Consumed by the taint
+/// analysis (taint.hpp); matches both repo definitions and external calls
+/// as written (`std::thread::hardware_concurrency`).
+struct SourceDecl {
+  std::string pattern;
+  std::size_t line = 0;
+  std::string text;
+};
+
+/// `sink member <name>` (a result-bearing member field) or
+/// `sink <qualified-suffix>` (a result-emitting function: any call passing
+/// it a tainted argument is a sink hit).
+struct SinkDecl {
+  std::string pattern;
+  bool member = false;
+  std::size_t line = 0;
+  std::string text;
+};
+
+/// `merge <kind> <qualified-suffix>`: an order-independent reduction point
+/// that launders partition taint.  Only kind "commutative" is justified;
+/// any other kind parses but fires merge-unjustified.
+struct MergeDecl {
+  std::string kind;
+  std::string pattern;
+  std::size_t line = 0;
+  std::string text;
+};
+
 struct EffectConfig {
   std::string path;  // repo-relative conf path, for findings
   std::vector<RegionDecl> regions;
   std::vector<AssumeDecl> assumes;
+  std::vector<SourceDecl> sources;
+  std::vector<SinkDecl> sinks;
+  std::vector<MergeDecl> merges;
   std::vector<ConfError> errors;
 };
 
 /// Parse an effects.conf document.  Grammar (one directive per line, `#`
-/// comments): `region <lockstep|serial> <qualified-suffix>` and
-/// `assume <effect> <qualified-suffix>`.
+/// comments): `region <lockstep|serial> <qualified-suffix>`,
+/// `assume <effect> <qualified-suffix>`, `source <qualified-suffix>`,
+/// `sink <qualified-suffix>`, `sink member <name>`, and
+/// `merge <kind> <qualified-suffix>`.
 EffectConfig parse_effects_conf(std::string path, const std::string& text);
 
 /// The cross-file effect rules, for --list-rules and the docs.

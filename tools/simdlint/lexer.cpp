@@ -88,6 +88,10 @@ SourceFile SourceFile::parse(std::string path, std::string text) {
                       f.region_marks);
       scan_directives("SIMDLINT-EFFECT-OK(", comment_line_text, comment_line,
                       f.effect_ok);
+      scan_directives("SIMDLINT-SOURCE(", comment_line_text, comment_line,
+                      f.source_marks);
+      scan_directives("SIMDLINT-MERGE(", comment_line_text, comment_line,
+                      f.merge_marks);
       comment_line_text.clear();
     }
   };

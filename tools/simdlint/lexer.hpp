@@ -53,6 +53,16 @@ struct SourceFile {
   // after the tag; consumed by the effect analysis (effects.hpp), which
   // reports stale directives that absolved nothing.
   std::map<std::size_t, std::set<std::string>> effect_ok;
+  // line -> taint-source kinds ("partition") declared by an inline
+  // SIMDLINT-SOURCE comment.  The taint analysis (taint.hpp) taints the
+  // declared identifiers on the marker's line and the next two; a marker
+  // that taints nothing is reported stale.
+  std::map<std::size_t, std::set<std::string>> source_marks;
+  // line -> merge kinds ("commutative") declared by an inline SIMDLINT-MERGE
+  // comment; attaches to the function definition whose signature overlaps
+  // that line, marking it an order-independent reduction point that
+  // launders partition taint (see taint.hpp).
+  std::map<std::size_t, std::set<std::string>> merge_marks;
   std::size_t line_count = 0;
 
   /// Lex `text`; `path` is kept verbatim for reporting and rule scoping.

@@ -33,6 +33,7 @@
 #include "simdlint/lexer.hpp"
 #include "simdlint/report.hpp"
 #include "simdlint/rules.hpp"
+#include "simdlint/taint.hpp"
 
 namespace fs = std::filesystem;
 
@@ -105,7 +106,8 @@ int usage(std::ostream& out, int code) {
 bool never_baselined(const std::string& rule) {
   return rule == "unused-suppression" || rule == "stale-region" ||
          rule == "stale-assume" || rule == "stale-effect-ok" ||
-         rule == "effects-conf-error";
+         rule == "effects-conf-error" || rule == "stale-source" ||
+         rule == "stale-sink" || rule == "stale-merge";
 }
 
 }  // namespace
@@ -155,6 +157,9 @@ int main(int argc, char** argv) {
       std::cout << "include-cycle\n    cross-file pass: the quoted-include "
                    "graph of src/ must stay acyclic\n";
       for (const auto& [id, summary] : simdlint::effect_rule_catalog()) {
+        std::cout << id << "\n    " << summary << "\n";
+      }
+      for (const auto& [id, summary] : simdlint::taint_rule_catalog()) {
         std::cout << id << "\n    " << summary << "\n";
       }
       return 0;
@@ -263,6 +268,11 @@ int main(int argc, char** argv) {
     findings.insert(findings.end(),
                     std::make_move_iterator(effect_findings.begin()),
                     std::make_move_iterator(effect_findings.end()));
+    auto taint_findings =
+        simdlint::find_taint_findings(parsed_files, config, subset);
+    findings.insert(findings.end(),
+                    std::make_move_iterator(taint_findings.begin()),
+                    std::make_move_iterator(taint_findings.end()));
   }
   std::sort(findings.begin(), findings.end(),
             [](const simdlint::Finding& a, const simdlint::Finding& b) {

@@ -146,8 +146,33 @@ void sarif_report(std::ostream& out, const std::vector<Finding>& findings,
            "                \"region\": {\"startLine\": " << line << "}\n"
            "              }\n"
            "            }\n"
-           "          ],\n"
-           "          \"partialFingerprints\": {\"simdlintFingerprint/v1\": \""
+           "          ],\n";
+    // Dataflow witnesses (the taint rules) export the full source→sink path
+    // as a codeFlow so code scanning renders each hop.
+    if (!f.flow.empty()) {
+      out << "          \"codeFlows\": [\n"
+             "            {\n"
+             "              \"threadFlows\": [\n"
+             "                {\n"
+             "                  \"locations\": [";
+      for (std::size_t s = 0; s < f.flow.size(); ++s) {
+        const FlowStep& step = f.flow[s];
+        if (s > 0) out << ",";
+        out << "\n                    {\"location\": {\"physicalLocation\": "
+               "{\"artifactLocation\": {\"uri\": \""
+            << json_escape(step.path)
+            << "\"}, \"region\": {\"startLine\": "
+            << (step.line == 0 ? 1 : step.line)
+            << "}}, \"message\": {\"text\": \"" << json_escape(step.note)
+            << "\"}}}";
+      }
+      out << "\n                  ]\n"
+             "                }\n"
+             "              ]\n"
+             "            }\n"
+             "          ],\n";
+    }
+    out << "          \"partialFingerprints\": {\"simdlintFingerprint/v1\": \""
         << json_escape(fps[i]) << "\"}\n        }";
   }
   out << (first ? "]" : "\n      ]") << "\n    }\n  ]\n}\n";

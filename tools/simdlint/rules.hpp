@@ -25,6 +25,14 @@
 
 namespace simdlint {
 
+/// One hop of a dataflow witness (source→sink provenance for the taint
+/// rules).  Rendered as a SARIF codeFlow so code scanning shows the path.
+struct FlowStep {
+  std::string path;
+  std::size_t line = 0;  // 1-based
+  std::string note;      // "worker_begin taints wbegin", "stats.nodes +="
+};
+
 struct Finding {
   std::string rule;
   std::string path;
@@ -33,6 +41,7 @@ struct Finding {
   std::string excerpt;
   bool suppressed = false;  // via SIMDLINT-ALLOW on this or previous line
   bool baselined = false;   // matched an entry in the baseline file
+  std::vector<FlowStep> flow;  // dataflow witness steps, source first
 };
 
 class Rule {

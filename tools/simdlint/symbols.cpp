@@ -26,6 +26,8 @@ struct View {
     return all[idx[i]];
   }
   [[nodiscard]] std::size_t size() const { return idx.size(); }
+  /// Raw index into SourceFile::tokens of view position `i`.
+  [[nodiscard]] std::size_t raw_index(std::size_t i) const { return idx[i]; }
 };
 
 bool vtok_is(const View& t, std::size_t i, const char* text) {
@@ -113,6 +115,65 @@ std::ptrdiff_t declarator_close(const View& t, std::ptrdiff_t from) {
     --k;
   }
   return -1;
+}
+
+// Tokens that close a parameter segment without being the parameter name.
+const std::set<std::string>& type_only_tokens() {
+  static const std::set<std::string> kNames = {
+      "void", "int",   "unsigned", "signed",   "char", "bool",    "float",
+      "double", "long", "short",   "auto",     "const", "volatile",
+  };
+  return kNames;
+}
+
+// Recover the parameter names of the list delimited by view indices
+// (open, close) — both pointing at the parentheses.  Each top-level
+// comma-separated segment contributes its last identifier that is not a
+// qualifier prefix (next token is neither an identifier nor "::"/"<") and
+// not a bare type keyword; unnamed slots contribute "".
+std::vector<std::string> param_names(const View& t, std::ptrdiff_t open,
+                                     std::ptrdiff_t close) {
+  std::vector<std::string> out;
+  if (open < 0 || close <= open + 1) return out;
+  int paren = 0;
+  int angle = 0;
+  int brace = 0;
+  std::string name;
+  bool defaulted = false;  // saw a top-level '=': name is already fixed
+  auto flush = [&] {
+    out.push_back(type_only_tokens().count(name) > 0 ? std::string() : name);
+    name.clear();
+    defaulted = false;
+  };
+  for (std::ptrdiff_t k = open + 1; k < close; ++k) {
+    const std::string& s = t[static_cast<std::size_t>(k)].text;
+    if (s == "(" || s == "[") {
+      ++paren;
+    } else if (s == ")" || s == "]") {
+      --paren;
+    } else if (s == "{") {
+      ++brace;
+    } else if (s == "}") {
+      --brace;
+    } else if (s == "<") {
+      ++angle;
+    } else if (s == ">") {
+      if (angle > 0) --angle;
+    } else if (s == "," && paren == 0 && angle == 0 && brace == 0) {
+      flush();
+      continue;
+    } else if (s == "=" && paren == 0 && angle == 0 && brace == 0) {
+      defaulted = true;
+    } else if (!defaulted && paren == 0 && angle == 0 && brace == 0 &&
+               t[static_cast<std::size_t>(k)].ident) {
+      const std::size_t n = static_cast<std::size_t>(k) + 1;
+      const bool qualifier = n < t.size() && (t[n].ident || t[n].text == "::" ||
+                                              t[n].text == "<");
+      if (!qualifier) name = s;
+    }
+  }
+  flush();
+  return out;
 }
 
 // Names that a declarator heuristic can land on which are never function
@@ -616,6 +677,15 @@ std::vector<FunctionDef> extract_functions(const SourceFile& file) {
           fn.regions.insert(it->second.begin(), it->second.end());
           fn.region_mark_lines.push_back(it->first);
         }
+        for (auto it = file.merge_marks.lower_bound(lo);
+             it != file.merge_marks.end() && it->first <= hi; ++it) {
+          fn.merges.insert(it->second.begin(), it->second.end());
+          fn.merge_mark_lines.push_back(it->first);
+        }
+
+        fn.params = param_names(t, vmatch_paren_back(t, c.decl_close),
+                                c.decl_close);
+        fn.body_open = t.raw_index(i);
 
         out.push_back(std::move(fn));
         current_fn = static_cast<std::ptrdiff_t>(out.size()) - 1;
@@ -624,7 +694,10 @@ std::vector<FunctionDef> extract_functions(const SourceFile& file) {
       stack.push_back(Scope{c.kind, std::move(c.scope_name), fn_body});
     } else if (t[i].text == "}") {
       if (!stack.empty()) {
-        if (stack.back().fn_body) current_fn = -1;
+        if (stack.back().fn_body && current_fn >= 0) {
+          out[static_cast<std::size_t>(current_fn)].body_close = t.raw_index(i);
+          current_fn = -1;
+        }
         stack.pop_back();
       }
     } else if (current_fn >= 0) {

@@ -66,6 +66,17 @@ struct FunctionDef {
   std::vector<IntrinsicUse> intrinsics;
   std::set<std::string> regions;  // inline SIMDLINT-REGION kinds attached
   std::vector<std::size_t> region_mark_lines;  // marker lines consumed
+  std::set<std::string> merges;   // inline SIMDLINT-MERGE kinds attached
+  std::vector<std::size_t> merge_mark_lines;   // marker lines consumed
+  /// Parameter names, in declaration order ("" for unnamed/unrecovered
+  /// slots) — the taint analysis maps tainted call arguments onto these.
+  std::vector<std::string> params;
+  /// Raw indices into SourceFile::tokens of the body's '{' and '}' (both 0
+  /// when the body was not delimited).  The taint analysis re-walks this
+  /// range at token level; consumers must skip preproc-flagged tokens, as
+  /// the extraction walk does.
+  std::size_t body_open = 0;
+  std::size_t body_close = 0;
 };
 
 /// Extract every function definition of `file`, in source order.  Inline

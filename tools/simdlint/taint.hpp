@@ -1,0 +1,85 @@
+// simdlint v4: interprocedural determinism-taint dataflow (D7).
+//
+// The repo's core claim — the lockstep SIMD model yields the *same* work and
+// solutions regardless of how lanes are mapped to host threads — is a
+// dataflow property: no *partition-derived* value (worker index, word-range
+// begin/end bound, `hardware_concurrency`, task slot index) may flow into
+// *result-bearing* state (RunStats/IterationStats accumulation, CSV/journal/
+// response-log emission, cache keys, GridPoint fields) except through an
+// annotated order-independent merge.  The golden 1/2/8-thread CSV diffs test
+// this dynamically; this pass proves it statically over the v3 cross-TU call
+// graph (symbols.hpp, callgraph.hpp).
+//
+// Sources:
+//   * inline SIMDLINT-SOURCE markers of kind `partition` taint the
+//     identifiers declared on the marker's line and the next two (the
+//     convention is to put the marker directly above the lane/bound
+//     parameters of a partitioned worker body);
+//   * `source <qualified-suffix>` conf entries taint the return value of
+//     matching repo definitions and of matching external calls as written
+//     (`std::thread::hardware_concurrency`).
+//
+// Propagation (token-level, flow-insensitive per function, monotone to a
+// global fixpoint):
+//   * assignments (`=`, compound `+=`), increments, and mutating member
+//     calls (push_back, resize, ...) with a tainted right-hand side taint
+//     their target — locals per function, member fields globally by name;
+//   * control taint: every write inside a loop/branch whose condition (or
+//     range) reads a tainted value is tainted — the partition bound decides
+//     *how many times* the body runs, so even `+= 1` in it is
+//     partition-dependent (the motivating "missed += into a word-partitioned
+//     loop" bug);
+//   * calls propagate taint through parameters (tainted argument position k
+//     taints the callee's k-th parameter) and return values; an unresolved
+//     external call with a tainted argument is assumed to return taint;
+//   * under tainted control, member-form arguments (`ls.next_bound`,
+//     trailing-underscore fields) passed to any call are treated as written
+//     through (out-parameter conservatism);
+//   * reading `a[tainted_index]` does NOT taint the read when `a` is clean —
+//     lane-indexed *selection* into per-lane state is the deterministic
+//     partition idiom, not a flow (element reads of tainted containers do
+//     taint).
+//
+// Sinks are `sink member <name>` (result-bearing fields) and
+// `sink <qualified-suffix>` (result-emitting functions; a call passing them
+// a tainted argument is a hit).  A function carrying an inline
+// SIMDLINT-MERGE marker of kind `commutative` (or a conf
+// `merge commutative <suffix>` entry) is an order-independent reduction
+// point: tainted member writes and sink hits inside it are justified, and
+// its return value is clean.  Each merge annotation carries an in-comment
+// justification, like the v3 assume entries.
+//
+// Rules:
+//   * taint-partition-to-result — a source→sink flow bypasses every
+//     justified merge; the witness joins the full provenance chain
+//     ("expand_cycle: partition source 'wbegin' -> ... [partition->result]")
+//     and is exported as SARIF codeFlows;
+//   * merge-unjustified — a merge declares a kind other than "commutative";
+//   * stale-source / stale-sink / stale-merge — a declaration that taints,
+//     matches, or launders nothing.  Never baselineable; the conf-wide
+//     variants are skipped under subset runs (--changed-files / explicit
+//     paths), marker staleness is intra-file and always checked.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "simdlint/effects.hpp"
+#include "simdlint/lexer.hpp"
+#include "simdlint/rules.hpp"
+
+namespace simdlint {
+
+/// The taint rules, for --list-rules and the docs.
+std::vector<std::pair<std::string, std::string>> taint_rule_catalog();
+
+/// Run the determinism-taint analysis over the parsed file set.  `subset`
+/// marks --changed-files / explicit-path runs (conf-wide staleness checks
+/// are skipped there).  Findings carry dataflow witnesses in
+/// Finding::flow; stale findings are never baselineable.
+std::vector<Finding> find_taint_findings(const std::vector<SourceFile>& files,
+                                         const EffectConfig& config,
+                                         bool subset);
+
+}  // namespace simdlint
